@@ -1,0 +1,56 @@
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace appscope::bench {
+
+namespace {
+std::string scale_name(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (util::starts_with(arg, "--scale=")) return arg.substr(8);
+  }
+  if (const char* env = std::getenv("APPSCOPE_SCALE")) return env;
+  return "example";
+}
+}  // namespace
+
+synth::ScenarioConfig select_scenario(int argc, char** argv) {
+  const std::string name = scale_name(argc, argv);
+  if (name == "test") return synth::ScenarioConfig::test_scale();
+  if (name == "paper") return synth::ScenarioConfig::paper_scale();
+  if (name == "example") return synth::ScenarioConfig::example_scale();
+  std::cerr << "unknown scale '" << name << "', using example scale\n";
+  return synth::ScenarioConfig::example_scale();
+}
+
+bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+core::TrafficDataset build_dataset(const synth::ScenarioConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+  core::TrafficDataset dataset = core::TrafficDataset::generate(config);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  std::cout << "scenario: " << dataset.commune_count() << " communes, "
+            << dataset.subscribers().total() << " subscribers, "
+            << dataset.service_count() << " services; generated in "
+            << util::format_double(elapsed, 2) << " s\n\n";
+  return dataset;
+}
+
+void print_expectation(const std::string& label, const std::string& paper,
+                       const std::string& measured) {
+  std::cout << "  " << util::pad_right(label, 46) << " paper: "
+            << util::pad_right(paper, 22) << " measured: " << measured << "\n";
+}
+
+}  // namespace appscope::bench

@@ -1,0 +1,34 @@
+// bench_common.hpp
+//
+// Shared plumbing for the figure-reproduction benches: scenario selection
+// (test / example / paper scale via argv or APPSCOPE_SCALE), dataset
+// construction, and output helpers. Each bench binary regenerates one figure
+// of the paper and prints the same rows/series the figure reports, plus a
+// "paper vs measured" summary.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/dataset.hpp"
+#include "synth/scenario.hpp"
+#include "util/table.hpp"
+
+namespace appscope::bench {
+
+/// Parses the scale from argv ("--scale=test|example|paper") or the
+/// APPSCOPE_SCALE environment variable; defaults to example scale
+/// (4,000 communes — nationwide shape at workstation cost).
+synth::ScenarioConfig select_scenario(int argc, char** argv);
+
+/// True if the flag (e.g. "--sweep") appears in argv.
+bool has_flag(int argc, char** argv, const std::string& flag);
+
+/// Builds the dataset and prints a one-paragraph scenario summary.
+core::TrafficDataset build_dataset(const synth::ScenarioConfig& config);
+
+/// Prints "<label>: paper=<paper> measured=<measured>".
+void print_expectation(const std::string& label, const std::string& paper,
+                       const std::string& measured);
+
+}  // namespace appscope::bench

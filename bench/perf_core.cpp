@@ -1,0 +1,174 @@
+// Micro-benchmarks (google-benchmark) of the core algorithms, including the
+// ablations called out in DESIGN.md:
+//  - SBD cross-correlation: direct O(n²) vs FFT O(n log n) crossover;
+//  - k-Shape vs k-means on the 20 weekly service series;
+//  - streaming generator throughput (cells/second into the sinks);
+//  - smoothed z-score peak detection.
+#include <benchmark/benchmark.h>
+
+#include "core/dataset.hpp"
+#include "la/fft.hpp"
+#include "synth/generator.hpp"
+#include "ts/kmeans.hpp"
+#include "ts/kshape.hpp"
+#include "ts/peaks.hpp"
+#include "ts/sbd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appscope;
+
+std::vector<double> random_series(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.normal();
+  return out;
+}
+
+void BM_CrossCorrelationDirect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_series(n, 1);
+  const auto b = random_series(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::cross_correlation_direct(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CrossCorrelationDirect)->RangeMultiplier(2)->Range(32, 1024);
+
+void BM_CrossCorrelationFft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_series(n, 1);
+  const auto b = random_series(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::cross_correlation_fft(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CrossCorrelationFft)->RangeMultiplier(2)->Range(32, 1024);
+
+void BM_SbdWeeklySeries(benchmark::State& state) {
+  const auto a = random_series(168, 3);
+  const auto b = random_series(168, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::sbd(a, b));
+  }
+}
+BENCHMARK(BM_SbdWeeklySeries);
+
+std::vector<std::vector<double>> service_like_series(std::size_t count) {
+  std::vector<std::vector<double>> series;
+  util::Rng rng(7);
+  for (std::size_t s = 0; s < count; ++s) {
+    std::vector<double> v(168);
+    const double phase = rng.uniform(0.0, 6.28);
+    for (std::size_t h = 0; h < 168; ++h) {
+      v[h] = 5.0 + std::sin(2.0 * M_PI * static_cast<double>(h % 24) / 24.0 + phase) +
+             0.3 * rng.normal();
+    }
+    series.push_back(std::move(v));
+  }
+  return series;
+}
+
+void BM_KShape(benchmark::State& state) {
+  const auto series = service_like_series(20);
+  ts::KShapeOptions opts;
+  opts.k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::kshape(series, opts));
+  }
+}
+BENCHMARK(BM_KShape)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_KMeansBaseline(benchmark::State& state) {
+  const auto series = service_like_series(20);
+  ts::KMeansOptions opts;
+  opts.k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::kmeans(series, opts));
+  }
+}
+BENCHMARK(BM_KMeansBaseline)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_PeakDetection(benchmark::State& state) {
+  const auto series = random_series(168, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::detect_peaks(series, {}));
+  }
+}
+BENCHMARK(BM_PeakDetection);
+
+// Ablation: streaming sinks vs a materialized (service x commune x hour)
+// tensor. The tensor variant measures what the sink architecture avoids:
+// 20 x C x 168 doubles of working set plus a second aggregation pass.
+void BM_MaterializedTensorAggregation(benchmark::State& state) {
+  auto config = synth::ScenarioConfig::test_scale();
+  config.country.commune_count = static_cast<std::size_t>(state.range(0));
+  const geo::Territory territory = geo::build_synthetic_country(config.country);
+  const workload::SubscriberBase subscribers(territory, config.population);
+  const workload::ServiceCatalog catalog =
+      workload::ServiceCatalog::paper_services();
+  const synth::AnalyticGenerator gen(territory, subscribers, catalog,
+                                     config.traffic_seed,
+                                     config.temporal_noise_sigma);
+
+  // A sink that materializes the full tensor, then aggregates from it.
+  class TensorSink final : public synth::TrafficSink {
+   public:
+    TensorSink(std::size_t services, std::size_t communes)
+        : communes_(communes), data_(services * communes * 168, 0.0) {}
+    void consume(const synth::TrafficCell& cell) override {
+      data_[(cell.service * communes_ + cell.commune) * 168 + cell.week_hour] +=
+          cell.downlink_bytes;
+    }
+    double aggregate_total() const {
+      double total = 0.0;
+      for (const double v : data_) total += v;
+      return total;
+    }
+
+   private:
+    std::size_t communes_;
+    std::vector<double> data_;
+  };
+
+  for (auto _ : state) {
+    TensorSink tensor(catalog.size(), territory.size());
+    gen.generate(tensor);
+    benchmark::DoNotOptimize(tensor.aggregate_total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.country.commune_count) *
+                          20 * 168);
+}
+BENCHMARK(BM_MaterializedTensorAggregation)
+    ->Arg(400)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AnalyticGenerator(benchmark::State& state) {
+  auto config = synth::ScenarioConfig::test_scale();
+  config.country.commune_count = static_cast<std::size_t>(state.range(0));
+  const geo::Territory territory = geo::build_synthetic_country(config.country);
+  const workload::SubscriberBase subscribers(territory, config.population);
+  const workload::ServiceCatalog catalog =
+      workload::ServiceCatalog::paper_services();
+  const synth::AnalyticGenerator gen(territory, subscribers, catalog,
+                                     config.traffic_seed,
+                                     config.temporal_noise_sigma);
+  for (auto _ : state) {
+    synth::TotalsSink totals;
+    gen.generate(totals);
+    benchmark::DoNotOptimize(totals.total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.country.commune_count) *
+                          20 * 168);
+}
+BENCHMARK(BM_AnalyticGenerator)->Arg(400)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// quickstart — the 60-second tour of the appscope API:
+//  1. build a synthetic nationwide scenario,
+//  2. generate one week of per-service commune-level traffic,
+//  3. run the paper's headline analyses and print the key findings.
+//
+// Run:  ./quickstart            (test scale, < 1 s)
+#include <cmath>
+#include <iostream>
+
+#include "core/study.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace appscope;
+
+int main() {
+  std::cout << util::rule("appscope quickstart") << "\n";
+
+  // 1. A scenario bundles geography (communes, metros, TGV lines, coverage),
+  //    population (subscribers) and traffic randomness.
+  const synth::ScenarioConfig config = synth::ScenarioConfig::test_scale();
+
+  // 2. One call streams a synthetic measurement week into the commune-level
+  //    aggregates the paper's probes would produce.
+  const core::TrafficDataset dataset = core::TrafficDataset::generate(config);
+  std::cout << "dataset: " << dataset.commune_count() << " communes, "
+            << dataset.subscribers().total() << " subscribers, "
+            << dataset.service_count() << " services\n\n";
+
+  // 3a. Who dominates the traffic? (Fig. 3)
+  const core::TopServicesReport top =
+      core::analyze_top_services(dataset, workload::Direction::kDownlink);
+  std::cout << "top-5 downlink services:\n";
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::cout << "  " << i + 1 << ". "
+              << util::pad_right(top.ranking[i].name, 18)
+              << util::format_percent(top.ranking[i].share, 1) << "\n";
+  }
+
+  // 3b. When does each service peak? (Figs. 4/6)
+  const core::PeakReport peaks =
+      core::analyze_peaks(dataset, workload::Direction::kDownlink);
+  std::cout << "\npeak signature of Facebook: ";
+  for (const auto t :
+       peaks.services[*dataset.catalog().find("Facebook")].topical_times) {
+    std::cout << ts::topical_time_name(t) << "; ";
+  }
+  std::cout << "\n";
+
+  // 3c. Where is the traffic? (Fig. 8)
+  const core::ConcentrationReport conc = core::analyze_concentration(
+      dataset, *dataset.catalog().find("Twitter"),
+      workload::Direction::kDownlink);
+  std::cout << "\nTwitter spatial concentration: top 10% of communes carry "
+            << util::format_percent(conc.top10_share, 1) << " of the traffic\n";
+
+  // 3d. Does urbanization change how much / when people consume? (Fig. 11)
+  const core::UrbanizationReport urb =
+      core::analyze_urbanization(dataset, workload::Direction::kDownlink);
+  std::cout << "\nper-user volume vs urban users: semi-urban "
+            << util::format_double(
+                   urb.mean_volume_ratio(geo::Urbanization::kSemiUrban), 2)
+            << "x, rural "
+            << util::format_double(urb.mean_volume_ratio(geo::Urbanization::kRural), 2)
+            << "x, TGV "
+            << util::format_double(urb.mean_volume_ratio(geo::Urbanization::kTgv), 2)
+            << "x\n";
+  std::cout << "temporal similarity to other classes (r2): rural "
+            << util::format_double(urb.mean_temporal_r2(geo::Urbanization::kRural), 2)
+            << " vs TGV "
+            << util::format_double(urb.mean_temporal_r2(geo::Urbanization::kTgv), 2)
+            << "\n\n";
+
+  std::cout << "=> not all apps are created equal: unique temporal patterns,\n"
+               "   near-identical geography, volume driven by urbanization.\n";
+  return 0;
+}

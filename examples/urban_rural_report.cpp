@@ -1,0 +1,83 @@
+// urban_rural_report — a land-use report in the spirit of the paper's
+// Sec. 5: how the urbanization level shapes mobile service consumption.
+// Prints the commune census, coverage by class, per-user volume ratios and
+// the temporal-similarity matrix, and renders the country maps.
+#include <cmath>
+#include <iostream>
+
+#include "core/spatial_analysis.hpp"
+#include "core/urbanization_analysis.hpp"
+#include "geo/grid_map.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace appscope;
+
+int main() {
+  std::cout << util::rule("appscope example: urban/rural consumption report")
+            << "\n";
+  const core::TrafficDataset dataset =
+      core::TrafficDataset::generate(synth::ScenarioConfig::test_scale());
+  const auto& territory = dataset.territory();
+
+  // --- Commune census -------------------------------------------------------
+  util::TextTable census({"class", "communes", "population", "subscribers",
+                          "4G coverage"});
+  for (const auto u :
+       {geo::Urbanization::kUrban, geo::Urbanization::kSemiUrban,
+        geo::Urbanization::kRural, geo::Urbanization::kTgv}) {
+    const auto ids = territory.communes_in(u);
+    std::size_t with_4g = 0;
+    for (const auto i : ids) with_4g += territory.communes()[i].has_4g ? 1 : 0;
+    census.add_row(
+        {std::string(geo::urbanization_name(u)), std::to_string(ids.size()),
+         std::to_string(territory.population_in(u)),
+         std::to_string(dataset.subscribers().total_in(territory, u)),
+         ids.empty() ? "-"
+                     : util::format_percent(static_cast<double>(with_4g) /
+                                                static_cast<double>(ids.size()),
+                                            0)});
+  }
+  census.render(std::cout);
+
+  // --- How much does each class consume? -----------------------------------
+  const core::UrbanizationReport report =
+      core::analyze_urbanization(dataset, workload::Direction::kDownlink);
+  std::cout << "\nper-user weekly volume relative to urban users "
+               "(mean over services):\n";
+  for (const auto u :
+       {geo::Urbanization::kSemiUrban, geo::Urbanization::kRural,
+        geo::Urbanization::kTgv}) {
+    const double ratio = report.mean_volume_ratio(u);
+    std::cout << "  " << util::pad_right(std::string(geo::urbanization_name(u)), 12)
+              << util::ascii_bar(ratio, 3.0, 30) << " "
+              << util::format_double(ratio, 2) << "x\n";
+  }
+
+  // --- And when? -------------------------------------------------------------
+  std::cout << "\ntemporal similarity to other classes (mean r2 over "
+               "services):\n";
+  for (const auto u :
+       {geo::Urbanization::kUrban, geo::Urbanization::kSemiUrban,
+        geo::Urbanization::kRural, geo::Urbanization::kTgv}) {
+    const double r2 = report.mean_temporal_r2(u);
+    std::cout << "  " << util::pad_right(std::string(geo::urbanization_name(u)), 12)
+              << util::ascii_bar(r2, 1.0, 30) << " " << util::format_double(r2, 2)
+              << "\n";
+  }
+  std::cout << "  => urbanization changes HOW MUCH people consume, barely "
+               "WHEN;\n     TGV passengers are the exception.\n";
+
+  // --- Country maps ------------------------------------------------------------
+  std::cout << "\npopulation map (log scale):\n";
+  std::vector<double> population(territory.size());
+  for (std::size_t c = 0; c < territory.size(); ++c) {
+    population[c] = static_cast<double>(territory.communes()[c].population);
+  }
+  std::cout << geo::map_commune_values(territory, population, 64, 24)
+                   .render_ascii();
+
+  std::cout << "\n4G coverage map:\n";
+  std::cout << geo::map_coverage(territory, 64, 24).render_ascii(false);
+  return 0;
+}

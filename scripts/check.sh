@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification: configure, build (warnings as errors), run every test,
+# every figure bench and every example. This is the CI entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-check}"
+
+cmake -B "$BUILD_DIR" -G Ninja -DAPPSCOPE_WARNINGS_AS_ERRORS=ON
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
+
+for b in "$BUILD_DIR"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "==== $b"
+  APPSCOPE_SCALE=test "$b"
+done
+
+for e in "$BUILD_DIR"/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  echo "==== $e"
+  "$e" > /dev/null
+done
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,78 @@
+#include "core/category_analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "stats/correlation.hpp"
+#include "ts/peaks.hpp"
+#include "ts/sbd.hpp"
+#include "ts/znorm.hpp"
+#include "util/error.hpp"
+
+namespace appscope::core {
+
+double CategoryReport::overall_mean_sbd() const {
+  APPSCOPE_REQUIRE(!categories.empty(), "CategoryReport: empty");
+  double acc = 0.0;
+  for (const auto& c : categories) acc += c.mean_pairwise_sbd;
+  return acc / static_cast<double>(categories.size());
+}
+
+CategoryReport analyze_category_heterogeneity(const TrafficDataset& dataset,
+                                              workload::Direction d) {
+  CategoryReport report;
+  report.direction = d;
+
+  for (std::size_t cat = 0; cat < workload::kCategoryCount; ++cat) {
+    const auto category = static_cast<workload::Category>(cat);
+    CategoryHeterogeneity entry;
+    entry.category = category;
+    entry.name = std::string(workload::category_name(category));
+    for (std::size_t s = 0; s < dataset.service_count(); ++s) {
+      if (dataset.catalog()[s].category == category) {
+        entry.members.push_back(s);
+      }
+    }
+    if (entry.members.size() < 2) continue;
+
+    // Member shapes and the category aggregate.
+    std::vector<std::vector<double>> shapes;
+    std::vector<double> aggregate(ts::kHoursPerWeek, 0.0);
+    for (const auto s : entry.members) {
+      const auto& series = dataset.national_series(s, d);
+      shapes.push_back(ts::znormalize(std::span<const double>(series)));
+      for (std::size_t h = 0; h < series.size(); ++h) aggregate[h] += series[h];
+    }
+
+    double sum_sbd = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      for (std::size_t j = i + 1; j < shapes.size(); ++j) {
+        const double dist = ts::sbd_distance(shapes[i], shapes[j]);
+        sum_sbd += dist;
+        entry.max_pairwise_sbd = std::max(entry.max_pairwise_sbd, dist);
+        ++pairs;
+      }
+    }
+    entry.mean_pairwise_sbd = sum_sbd / static_cast<double>(pairs);
+
+    double sum_r2 = 0.0;
+    for (const auto s : entry.members) {
+      sum_r2 += stats::pearson_r2(dataset.national_series(s, d), aggregate);
+    }
+    entry.mean_member_aggregate_r2 =
+        sum_r2 / static_cast<double>(entry.members.size());
+
+    std::set<std::vector<ts::TopicalTime>> signatures;
+    for (const auto s : entry.members) {
+      const auto det = ts::detect_peaks(dataset.national_series(s, d), {});
+      signatures.insert(ts::peak_topical_times(det));
+    }
+    entry.distinct_signatures = signatures.size();
+
+    report.categories.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace appscope::core

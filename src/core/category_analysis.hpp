@@ -1,0 +1,47 @@
+// appscope/core/category_analysis.hpp
+//
+// Category-level vs service-level heterogeneity. Most prior work studies
+// broad service categories (video, chat, ...); the paper's headline point
+// is that "such broad categories hide the peculiarities of each service".
+// This analysis quantifies it: within every category, how far apart are the
+// members' temporal shapes (SBD), and how much of a member's dynamics does
+// the category aggregate actually explain?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace appscope::core {
+
+struct CategoryHeterogeneity {
+  workload::Category category = workload::Category::kOther;
+  std::string name;
+  std::vector<workload::ServiceIndex> members;
+  /// Mean pairwise SBD between the members' z-normalized national series
+  /// (0 = identical shapes, values ≳ 0.1 are clearly distinct dynamics).
+  double mean_pairwise_sbd = 0.0;
+  /// Largest pairwise SBD within the category.
+  double max_pairwise_sbd = 0.0;
+  /// Mean r² between each member's series and the category aggregate —
+  /// high values would justify category-level modeling; the paper predicts
+  /// they leave substantial per-service dynamics unexplained.
+  double mean_member_aggregate_r2 = 0.0;
+  /// Number of distinct topical-time signatures among the members.
+  std::size_t distinct_signatures = 0;
+};
+
+struct CategoryReport {
+  workload::Direction direction = workload::Direction::kDownlink;
+  /// Categories with at least two member services.
+  std::vector<CategoryHeterogeneity> categories;
+
+  /// Mean over categories of mean_pairwise_sbd.
+  double overall_mean_sbd() const;
+};
+
+CategoryReport analyze_category_heterogeneity(const TrafficDataset& dataset,
+                                              workload::Direction d);
+
+}  // namespace appscope::core

@@ -1,0 +1,53 @@
+#include "core/compare.hpp"
+
+#include "stats/correlation.hpp"
+#include "util/error.hpp"
+
+namespace appscope::core {
+
+double DatasetComparison::mean_temporal_r2() const {
+  APPSCOPE_REQUIRE(!services.empty(), "DatasetComparison: empty");
+  double acc = 0.0;
+  for (const auto& s : services) acc += s.temporal_r2;
+  return acc / static_cast<double>(services.size());
+}
+
+double DatasetComparison::mean_spatial_r2() const {
+  APPSCOPE_REQUIRE(!services.empty(), "DatasetComparison: empty");
+  double acc = 0.0;
+  for (const auto& s : services) acc += s.spatial_r2;
+  return acc / static_cast<double>(services.size());
+}
+
+DatasetComparison compare_datasets(const TrafficDataset& a,
+                                   const TrafficDataset& b,
+                                   workload::Direction d) {
+  APPSCOPE_REQUIRE(a.service_count() == b.service_count(),
+                   "compare_datasets: service-count mismatch");
+  APPSCOPE_REQUIRE(a.commune_count() == b.commune_count(),
+                   "compare_datasets: commune-count mismatch");
+
+  DatasetComparison out;
+  out.direction = d;
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (std::size_t s = 0; s < a.service_count(); ++s) {
+    ServiceAgreement agreement;
+    agreement.service = s;
+    agreement.name = a.catalog()[s].name;
+    agreement.temporal_r2 =
+        stats::pearson_r2(a.national_series(s, d), b.national_series(s, d));
+    agreement.spatial_r2 =
+        stats::pearson_r2(a.commune_totals(s, d), b.commune_totals(s, d));
+    const double va = a.national_total(s, d);
+    const double vb = b.national_total(s, d);
+    agreement.volume_ratio = va > 0.0 ? vb / va : 0.0;
+    total_a += va;
+    total_b += vb;
+    out.services.push_back(std::move(agreement));
+  }
+  out.total_volume_ratio = total_a > 0.0 ? total_b / total_a : 0.0;
+  return out;
+}
+
+}  // namespace appscope::core

@@ -1,0 +1,43 @@
+// appscope/core/compare.hpp
+//
+// Dataset-to-dataset comparison: quantifies how closely two datasets over
+// the same territory and catalog agree, per service. Used to validate the
+// event-level measurement pipeline against the analytic generator and to
+// study seed / configuration sensitivity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace appscope::core {
+
+struct ServiceAgreement {
+  workload::ServiceIndex service = 0;
+  std::string name;
+  /// r² between the two nationwide hourly series.
+  double temporal_r2 = 0.0;
+  /// r² between the two per-commune weekly volume vectors.
+  double spatial_r2 = 0.0;
+  /// Weekly volume ratio b/a (1 = identical totals).
+  double volume_ratio = 0.0;
+};
+
+struct DatasetComparison {
+  workload::Direction direction = workload::Direction::kDownlink;
+  std::vector<ServiceAgreement> services;
+
+  double mean_temporal_r2() const;
+  double mean_spatial_r2() const;
+  /// Total volume ratio b/a over all services.
+  double total_volume_ratio = 0.0;
+};
+
+/// Compares datasets a and b. Requires identical commune and service
+/// counts (same territory/catalog dimensions).
+DatasetComparison compare_datasets(const TrafficDataset& a,
+                                   const TrafficDataset& b,
+                                   workload::Direction d);
+
+}  // namespace appscope::core

@@ -1,0 +1,178 @@
+#include "core/dataset.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appscope::core {
+
+TrafficDataset::TrafficDataset(
+    synth::ScenarioConfig config, std::shared_ptr<const geo::Territory> territory,
+    std::shared_ptr<const workload::SubscriberBase> subscribers,
+    std::shared_ptr<const workload::ServiceCatalog> catalog)
+    : config_(std::move(config)),
+      territory_(std::move(territory)),
+      subscribers_(std::move(subscribers)),
+      catalog_(std::move(catalog)) {
+  national_ = std::make_unique<synth::NationalSeriesSink>(catalog_->size());
+  commune_totals_ = std::make_unique<synth::CommuneTotalsSink>(catalog_->size(),
+                                                               territory_->size());
+  urbanization_ = std::make_unique<synth::UrbanizationSeriesSink>(catalog_->size());
+  totals_ = std::make_unique<synth::TotalsSink>();
+
+  for (std::size_t u = 0; u < geo::kUrbanizationCount; ++u) {
+    class_subscribers_[u] = subscribers_->total_in(
+        *territory_, static_cast<geo::Urbanization>(u));
+  }
+}
+
+void TrafficDataset::consume_stream(
+    const std::function<void(synth::TrafficSink&)>& producer) {
+  synth::FanoutSink fanout({national_.get(), commune_totals_.get(),
+                            urbanization_.get(), totals_.get()});
+  producer(fanout);
+}
+
+TrafficDataset TrafficDataset::generate(const synth::ScenarioConfig& config) {
+  auto territory = std::make_shared<const geo::Territory>(
+      geo::build_synthetic_country(config.country));
+  auto subscribers = std::make_shared<const workload::SubscriberBase>(
+      *territory, config.population);
+  auto catalog = std::make_shared<const workload::ServiceCatalog>(
+      workload::ServiceCatalog::paper_services());
+
+  TrafficDataset dataset(config, territory, subscribers, catalog);
+  std::unique_ptr<workload::PresenceModel> presence;
+  if (config.enable_mobility) {
+    presence = std::make_unique<workload::PresenceModel>(*territory, *subscribers,
+                                                         config.mobility);
+  }
+  const synth::AnalyticGenerator generator(*territory, *subscribers, *catalog,
+                                           config.traffic_seed,
+                                           config.temporal_noise_sigma,
+                                           presence.get());
+  dataset.consume_stream(
+      [&generator](synth::TrafficSink& sink) { generator.generate(sink); });
+  return dataset;
+}
+
+TrafficDataset TrafficDataset::from_usage_records(
+    const synth::ScenarioConfig& config, const geo::Territory& territory,
+    const workload::SubscriberBase& subscribers,
+    const workload::ServiceCatalog& catalog,
+    const std::vector<net::UsageRecord>& records) {
+  // Copy the shared inputs into owned snapshots so the dataset is
+  // self-contained like the generated variant.
+  auto territory_copy = std::make_shared<const geo::Territory>(territory);
+  auto subscribers_copy =
+      std::make_shared<const workload::SubscriberBase>(subscribers);
+  auto catalog_copy = std::make_shared<const workload::ServiceCatalog>(catalog);
+
+  TrafficDataset dataset(config, territory_copy, subscribers_copy, catalog_copy);
+  dataset.consume_stream([&](synth::TrafficSink& sink) {
+    for (const auto& r : records) {
+      if (!r.service) continue;  // unclassified traffic: not per-service data
+      synth::TrafficCell cell;
+      cell.service = *r.service;
+      cell.commune = r.commune;
+      cell.week_hour = r.week_hour;
+      cell.urbanization = territory.commune(r.commune).urbanization;
+      cell.downlink_bytes = static_cast<double>(r.downlink_bytes);
+      cell.uplink_bytes = static_cast<double>(r.uplink_bytes);
+      sink.consume(cell);
+    }
+  });
+  return dataset;
+}
+
+const std::vector<double>& TrafficDataset::national_series(
+    workload::ServiceIndex service, workload::Direction d) const {
+  return national_->series(service, d);
+}
+
+double TrafficDataset::commune_total(workload::ServiceIndex service,
+                                     geo::CommuneId commune,
+                                     workload::Direction d) const {
+  return commune_totals_->total(service, commune, d);
+}
+
+std::vector<double> TrafficDataset::commune_totals(workload::ServiceIndex service,
+                                                   workload::Direction d) const {
+  return commune_totals_->commune_vector(service, d);
+}
+
+std::vector<double> TrafficDataset::per_user_commune_vector(
+    workload::ServiceIndex service, workload::Direction d) const {
+  std::vector<double> v = commune_totals_->commune_vector(service, d);
+  for (std::size_t c = 0; c < v.size(); ++c) {
+    v[c] /= static_cast<double>(
+        subscribers_->subscribers(static_cast<geo::CommuneId>(c)));
+  }
+  return v;
+}
+
+const std::vector<double>& TrafficDataset::urbanization_series(
+    workload::ServiceIndex service, geo::Urbanization u,
+    workload::Direction d) const {
+  return urbanization_->series(service, u, d);
+}
+
+std::vector<double> TrafficDataset::per_user_urbanization_series(
+    workload::ServiceIndex service, geo::Urbanization u,
+    workload::Direction d) const {
+  const auto& raw = urbanization_->series(service, u, d);
+  const auto subs = class_subscribers_[static_cast<std::size_t>(u)];
+  APPSCOPE_REQUIRE(subs > 0, "per_user_urbanization_series: empty class");
+  std::vector<double> out(raw.size());
+  for (std::size_t h = 0; h < raw.size(); ++h) {
+    out[h] = raw[h] / static_cast<double>(subs);
+  }
+  return out;
+}
+
+double TrafficDataset::national_total(workload::ServiceIndex service,
+                                      workload::Direction d) const {
+  const auto& series = national_->series(service, d);
+  double total = 0.0;
+  for (const double v : series) total += v;
+  return total;
+}
+
+double TrafficDataset::direction_total(workload::Direction d) const {
+  return d == workload::Direction::kDownlink ? totals_->downlink()
+                                             : totals_->uplink();
+}
+
+void TrafficDataset::validate() const {
+  const double tol = 1e-6 * (totals_->total() + 1.0);
+  for (const auto d :
+       {workload::Direction::kDownlink, workload::Direction::kUplink}) {
+    double national_sum = 0.0;
+    double commune_sum = 0.0;
+    double class_sum = 0.0;
+    for (std::size_t s = 0; s < catalog_->size(); ++s) {
+      for (const double v : national_->series(s, d)) {
+        APPSCOPE_CHECK(v >= 0.0, "dataset: negative national volume");
+        national_sum += v;
+      }
+      for (const double v : commune_totals_->commune_vector(s, d)) {
+        APPSCOPE_CHECK(v >= 0.0, "dataset: negative commune volume");
+        commune_sum += v;
+      }
+      for (std::size_t u = 0; u < geo::kUrbanizationCount; ++u) {
+        for (const double v :
+             urbanization_->series(s, static_cast<geo::Urbanization>(u), d)) {
+          class_sum += v;
+        }
+      }
+    }
+    APPSCOPE_CHECK(std::abs(national_sum - commune_sum) <= tol,
+                   "dataset: national/commune aggregate mismatch");
+    APPSCOPE_CHECK(std::abs(national_sum - class_sum) <= tol,
+                   "dataset: national/urbanization aggregate mismatch");
+    APPSCOPE_CHECK(std::abs(national_sum - direction_total(d)) <= tol,
+                   "dataset: national/grand-total mismatch");
+  }
+}
+
+}  // namespace appscope::core

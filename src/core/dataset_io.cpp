@@ -1,0 +1,129 @@
+#include "core/dataset_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace appscope::core {
+
+namespace {
+constexpr std::array<workload::Direction, 2> kDirections = {
+    workload::Direction::kDownlink, workload::Direction::kUplink};
+}
+
+void write_national_series_csv(const TrafficDataset& dataset, std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.write_row({"service", "direction", "hour", "bytes"});
+  for (std::size_t s = 0; s < dataset.service_count(); ++s) {
+    for (const auto d : kDirections) {
+      const auto& series = dataset.national_series(s, d);
+      for (std::size_t h = 0; h < series.size(); ++h) {
+        csv.write_row({dataset.catalog()[s].name,
+                       std::string(workload::direction_name(d)),
+                       std::to_string(h), util::format_double(series[h], 1)});
+      }
+    }
+  }
+}
+
+void write_commune_totals_csv(const TrafficDataset& dataset, std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.write_row({"service", "direction", "commune", "urbanization", "bytes",
+                 "bytes_per_user"});
+  for (std::size_t s = 0; s < dataset.service_count(); ++s) {
+    for (const auto d : kDirections) {
+      const auto totals = dataset.commune_totals(s, d);
+      const auto per_user = dataset.per_user_commune_vector(s, d);
+      for (std::size_t c = 0; c < totals.size(); ++c) {
+        csv.write_row(
+            {dataset.catalog()[s].name, std::string(workload::direction_name(d)),
+             std::to_string(c),
+             std::string(geo::urbanization_name(
+                 dataset.territory().communes()[c].urbanization)),
+             util::format_double(totals[c], 1),
+             util::format_double(per_user[c], 3)});
+      }
+    }
+  }
+}
+
+void write_urbanization_series_csv(const TrafficDataset& dataset,
+                                   std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.write_row({"service", "direction", "class", "hour", "bytes"});
+  for (std::size_t s = 0; s < dataset.service_count(); ++s) {
+    for (const auto d : kDirections) {
+      for (std::size_t u = 0; u < geo::kUrbanizationCount; ++u) {
+        const auto cls = static_cast<geo::Urbanization>(u);
+        const auto& series = dataset.urbanization_series(s, cls, d);
+        for (std::size_t h = 0; h < series.size(); ++h) {
+          csv.write_row({dataset.catalog()[s].name,
+                         std::string(workload::direction_name(d)),
+                         std::string(geo::urbanization_name(cls)),
+                         std::to_string(h), util::format_double(series[h], 1)});
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::string> export_dataset_csv(const TrafficDataset& dataset,
+                                            const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) throw util::InputError("export_dataset_csv: cannot create " + directory);
+
+  std::vector<std::string> written;
+  const auto write_file = [&](const std::string& name, auto&& writer) {
+    const std::string path = directory + "/" + name;
+    std::ofstream out(path);
+    if (!out) throw util::InputError("export_dataset_csv: cannot open " + path);
+    writer(dataset, out);
+    written.push_back(path);
+  };
+  write_file("national_series.csv", write_national_series_csv);
+  write_file("commune_totals.csv", write_commune_totals_csv);
+  write_file("urbanization_series.csv", write_urbanization_series_csv);
+  return written;
+}
+
+std::vector<CommuneTotalsRow> read_commune_totals_csv(std::string_view text) {
+  const auto rows = util::CsvReader::parse(text);
+  APPSCOPE_REQUIRE(!rows.empty(), "read_commune_totals_csv: empty document");
+  const std::vector<std::string> expected_header{
+      "service", "direction", "commune", "urbanization", "bytes",
+      "bytes_per_user"};
+  if (rows.front() != expected_header) {
+    throw util::InputError("read_commune_totals_csv: unexpected header");
+  }
+  std::vector<CommuneTotalsRow> out;
+  out.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    if (r.size() != expected_header.size()) {
+      throw util::InputError("read_commune_totals_csv: bad arity at row " +
+                             std::to_string(i));
+    }
+    CommuneTotalsRow row;
+    row.service = r[0];
+    if (r[1] == "downlink") {
+      row.direction = workload::Direction::kDownlink;
+    } else if (r[1] == "uplink") {
+      row.direction = workload::Direction::kUplink;
+    } else {
+      throw util::InputError("read_commune_totals_csv: bad direction " + r[1]);
+    }
+    row.commune = static_cast<geo::CommuneId>(util::parse_int(r[2]));
+    row.urbanization = r[3];
+    row.bytes = util::parse_double(r[4]);
+    row.bytes_per_user = util::parse_double(r[5]);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace appscope::core

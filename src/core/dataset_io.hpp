@@ -1,0 +1,51 @@
+// appscope/core/dataset_io.hpp
+//
+// CSV persistence for TrafficDataset aggregates: export the national hourly
+// series, per-commune weekly totals and per-urbanization-class series to
+// plain CSV files (for external plotting/pandas), and re-import the
+// commune-totals table for cross-run comparisons.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace appscope::core {
+
+/// Writes one row per (service, direction, hour) with the national volume.
+/// Columns: service,direction,hour,bytes.
+void write_national_series_csv(const TrafficDataset& dataset, std::ostream& out);
+
+/// Writes one row per (service, direction, commune) with the weekly volume
+/// and the per-subscriber volume.
+/// Columns: service,direction,commune,urbanization,bytes,bytes_per_user.
+void write_commune_totals_csv(const TrafficDataset& dataset, std::ostream& out);
+
+/// Writes one row per (service, direction, urbanization class, hour).
+/// Columns: service,direction,class,hour,bytes.
+void write_urbanization_series_csv(const TrafficDataset& dataset,
+                                   std::ostream& out);
+
+/// Writes all three tables under `directory` as national_series.csv,
+/// commune_totals.csv and urbanization_series.csv; creates the directory.
+/// Returns the file paths written. Throws InputError on I/O failure.
+std::vector<std::string> export_dataset_csv(const TrafficDataset& dataset,
+                                            const std::string& directory);
+
+/// One parsed row of a commune-totals CSV.
+struct CommuneTotalsRow {
+  std::string service;
+  workload::Direction direction = workload::Direction::kDownlink;
+  geo::CommuneId commune = 0;
+  std::string urbanization;
+  double bytes = 0.0;
+  double bytes_per_user = 0.0;
+};
+
+/// Parses a commune-totals document produced by write_commune_totals_csv.
+/// Throws InputError on malformed content.
+std::vector<CommuneTotalsRow> read_commune_totals_csv(std::string_view text);
+
+}  // namespace appscope::core

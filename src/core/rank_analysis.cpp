@@ -1,0 +1,84 @@
+#include "core/rank_analysis.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace appscope::core {
+
+TopServicesReport analyze_top_services(const TrafficDataset& dataset,
+                                       workload::Direction d) {
+  TopServicesReport report;
+  report.direction = d;
+
+  double total = 0.0;
+  for (std::size_t s = 0; s < dataset.service_count(); ++s) {
+    total += dataset.national_total(s, d);
+  }
+  APPSCOPE_REQUIRE(total > 0.0, "analyze_top_services: empty dataset");
+
+  report.ranking.reserve(dataset.service_count());
+  for (std::size_t s = 0; s < dataset.service_count(); ++s) {
+    RankedService entry;
+    entry.service = s;
+    entry.name = dataset.catalog()[s].name;
+    entry.category = dataset.catalog()[s].category;
+    entry.volume = dataset.national_total(s, d);
+    entry.share = entry.volume / total;
+    report.ranking.push_back(std::move(entry));
+  }
+  std::sort(report.ranking.begin(), report.ranking.end(),
+            [](const RankedService& a, const RankedService& b) {
+              return a.volume > b.volume;
+            });
+
+  for (const auto& entry : report.ranking) {
+    report.category_shares[static_cast<std::size_t>(entry.category)] +=
+        entry.share;
+  }
+  return report;
+}
+
+ServiceRankingReport analyze_service_ranking(const TrafficDataset& dataset,
+                                             workload::Direction d,
+                                             std::size_t total_services) {
+  APPSCOPE_REQUIRE(total_services > dataset.service_count(),
+                   "analyze_service_ranking: need a non-empty tail");
+
+  ServiceRankingReport report;
+  report.direction = d;
+
+  // Head: measured volumes of the studied services.
+  std::vector<double> volumes;
+  volumes.reserve(total_services);
+  for (std::size_t s = 0; s < dataset.service_count(); ++s) {
+    volumes.push_back(dataset.national_total(s, d));
+  }
+  std::sort(volumes.begin(), volumes.end(), std::greater<>());
+  APPSCOPE_REQUIRE(volumes.front() > 0.0, "analyze_service_ranking: no traffic");
+
+  // Tail: the >480 low-volume services the probes detect but the paper does
+  // not study individually, synthesized from the catalog's tail law.
+  const std::vector<double> synthetic = workload::full_service_ranking(
+      dataset.catalog(), d, total_services, 0.0);
+  // Scale the synthetic tail so it continues the measured head: both
+  // rankings share the catalog head, so match at the last head rank.
+  const double scale = volumes.back() / synthetic[volumes.size() - 1];
+  for (std::size_t r = volumes.size(); r < total_services; ++r) {
+    volumes.push_back(synthetic[r] * scale);
+  }
+
+  double total = 0.0;
+  for (const double v : volumes) total += v;
+  report.normalized_volumes = volumes;
+  for (double& v : report.normalized_volumes) v /= total;
+
+  report.top_half_fit = stats::fit_zipf_top_half(report.normalized_volumes);
+  report.full_fit = stats::fit_zipf(report.normalized_volumes, 1,
+                                    report.normalized_volumes.size());
+  report.tail_cutoff_ratio =
+      stats::tail_cutoff_ratio(report.normalized_volumes, report.top_half_fit);
+  return report;
+}
+
+}  // namespace appscope::core

@@ -1,0 +1,63 @@
+// appscope/core/rank_analysis.hpp
+//
+// Service-ranking analyses (paper Sec. 3):
+//  - Fig. 2: the >500-service rank/volume curve, Zipf-fitted over the top
+//    half, with the bottom-half cutoff quantified;
+//  - Fig. 3: the 20 studied services ranked by direction, with per-service
+//    and per-category traffic shares.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "stats/zipf.hpp"
+#include "workload/service.hpp"
+
+namespace appscope::core {
+
+struct RankedService {
+  workload::ServiceIndex service = 0;
+  std::string name;
+  workload::Category category = workload::Category::kOther;
+  /// Weekly volume in this direction.
+  double volume = 0.0;
+  /// Share of the catalog's total volume in this direction.
+  double share = 0.0;
+};
+
+/// Fig. 3: the measured top-service ranking for one direction.
+struct TopServicesReport {
+  workload::Direction direction = workload::Direction::kDownlink;
+  std::vector<RankedService> ranking;  // descending by volume
+  /// Share of each category in the catalog total.
+  std::array<double, workload::kCategoryCount> category_shares{};
+
+  double category_share(workload::Category c) const noexcept {
+    return category_shares[static_cast<std::size_t>(c)];
+  }
+};
+
+TopServicesReport analyze_top_services(const TrafficDataset& dataset,
+                                       workload::Direction d);
+
+/// Fig. 2: the full >500-service ranking: the measured catalog head extended
+/// with the synthetic long tail, normalized, and Zipf-fitted.
+struct ServiceRankingReport {
+  workload::Direction direction = workload::Direction::kDownlink;
+  /// Normalized volumes (descending); entry 0 is 1 by construction... no:
+  /// normalized so the total sums to 1 (the paper plots normalized traffic).
+  std::vector<double> normalized_volumes;
+  /// Zipf fit over the top half of the ranking.
+  stats::ZipfFit top_half_fit;
+  /// Fit over the full ranking (degrades vs top-half: evidence of cutoff).
+  stats::ZipfFit full_fit;
+  /// Actual/extrapolated volume at the last rank (<< 1 = strong cutoff).
+  double tail_cutoff_ratio = 0.0;
+};
+
+ServiceRankingReport analyze_service_ranking(const TrafficDataset& dataset,
+                                             workload::Direction d,
+                                             std::size_t total_services = 500);
+
+}  // namespace appscope::core

@@ -1,0 +1,74 @@
+#include "core/slicing.hpp"
+
+#include "util/error.hpp"
+
+namespace appscope::core {
+
+SlicingReport analyze_slicing(const TrafficDataset& dataset,
+                              workload::Direction d) {
+  SlicingReport report;
+  report.direction = d;
+
+  std::vector<double> hourly_total(ts::kHoursPerWeek, 0.0);
+  for (std::size_t s = 0; s < dataset.service_count(); ++s) {
+    const auto& series = dataset.national_series(s, d);
+    SliceDemand slice;
+    slice.service = s;
+    slice.name = dataset.catalog()[s].name;
+    double sum = 0.0;
+    for (std::size_t h = 0; h < series.size(); ++h) {
+      sum += series[h];
+      hourly_total[h] += series[h];
+      if (series[h] > slice.peak) {
+        slice.peak = series[h];
+        slice.peak_hour = h;
+      }
+    }
+    slice.mean = sum / static_cast<double>(series.size());
+    report.static_capacity += slice.peak;
+    report.slices.push_back(std::move(slice));
+  }
+
+  for (std::size_t h = 0; h < hourly_total.size(); ++h) {
+    if (hourly_total[h] > report.dynamic_capacity) {
+      report.dynamic_capacity = hourly_total[h];
+      report.busy_hour = h;
+    }
+  }
+  APPSCOPE_CHECK(report.dynamic_capacity <= report.static_capacity + 1e-6,
+                 "slicing: hourly total exceeded the sum of peaks");
+  return report;
+}
+
+la::Matrix peak_cooccurrence(const TrafficDataset& dataset,
+                             workload::Direction d, double threshold) {
+  APPSCOPE_REQUIRE(threshold > 0.0 && threshold <= 1.0,
+                   "peak_cooccurrence: threshold must be in (0,1]");
+  const std::size_t n = dataset.service_count();
+
+  // Per-service boolean "near own peak" per hour.
+  std::vector<std::vector<bool>> hot(n,
+                                     std::vector<bool>(ts::kHoursPerWeek, false));
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto& series = dataset.national_series(s, d);
+    double peak = 0.0;
+    for (const double v : series) peak = std::max(peak, v);
+    for (std::size_t h = 0; h < series.size(); ++h) {
+      hot[s][h] = series[h] >= threshold * peak;
+    }
+  }
+
+  la::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      bool together = false;
+      for (std::size_t h = 0; h < ts::kHoursPerWeek && !together; ++h) {
+        together = hot[i][h] && hot[j][h];
+      }
+      m(i, j) = m(j, i) = together ? 1.0 : 0.0;
+    }
+  }
+  return m;
+}
+
+}  // namespace appscope::core

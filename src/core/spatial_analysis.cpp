@@ -1,0 +1,109 @@
+#include "core/spatial_analysis.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace appscope::core {
+
+ConcentrationReport analyze_concentration(const TrafficDataset& dataset,
+                                          workload::ServiceIndex service,
+                                          workload::Direction d) {
+  APPSCOPE_REQUIRE(service < dataset.service_count(),
+                   "analyze_concentration: bad service");
+  ConcentrationReport report;
+  report.service = service;
+  report.name = dataset.catalog()[service].name;
+  report.direction = d;
+
+  const std::vector<double> totals = dataset.commune_totals(service, d);
+  report.cumulative_share = stats::cumulative_share_ranked(totals);
+  report.top1_share = stats::top_fraction_share(totals, 0.01);
+  report.top10_share = stats::top_fraction_share(totals, 0.10);
+  report.gini = stats::gini(totals);
+
+  report.per_user_sample = dataset.per_user_commune_vector(service, d);
+  static constexpr std::array<double, 7> kQs = {0.01, 0.10, 0.25, 0.50,
+                                                0.75, 0.90, 0.99};
+  const std::vector<double> qs =
+      stats::quantiles(report.per_user_sample, std::span<const double>(kQs));
+  std::copy(qs.begin(), qs.end(), report.per_user_quantiles.begin());
+  return report;
+}
+
+UsageMapReport analyze_usage_map(const TrafficDataset& dataset,
+                                 workload::ServiceIndex service,
+                                 workload::Direction d, std::size_t cols,
+                                 std::size_t rows) {
+  APPSCOPE_REQUIRE(service < dataset.service_count(),
+                   "analyze_usage_map: bad service");
+  const std::vector<double> per_user = dataset.per_user_commune_vector(service, d);
+
+  UsageMapReport report{service, dataset.catalog()[service].name,
+                        geo::map_commune_values(dataset.territory(), per_user,
+                                                cols, rows)};
+
+  std::size_t absent = 0;
+  stats::RunningStats urban;
+  stats::RunningStats rural;
+  for (std::size_t c = 0; c < per_user.size(); ++c) {
+    if (per_user[c] <= 0.0) ++absent;
+    switch (dataset.territory().communes()[c].urbanization) {
+      case geo::Urbanization::kUrban:
+        urban.add(per_user[c]);
+        break;
+      case geo::Urbanization::kRural:
+        rural.add(per_user[c]);
+        break;
+      default:
+        break;
+    }
+  }
+  report.absent_commune_fraction =
+      static_cast<double>(absent) / static_cast<double>(per_user.size());
+  report.urban_mean = urban.count() > 0 ? urban.mean() : 0.0;
+  report.rural_mean = rural.count() > 0 ? rural.mean() : 0.0;
+  return report;
+}
+
+SpatialCorrelationReport analyze_spatial_correlation(const TrafficDataset& dataset,
+                                                     workload::Direction d) {
+  SpatialCorrelationReport report;
+  report.direction = d;
+
+  std::vector<std::vector<double>> vectors;
+  vectors.reserve(dataset.service_count());
+  for (std::size_t s = 0; s < dataset.service_count(); ++s) {
+    vectors.push_back(dataset.per_user_commune_vector(s, d));
+  }
+  report.r2 = stats::pairwise_r2(vectors);
+  report.pairwise_values = stats::upper_triangle(report.r2);
+  report.mean_r2 = stats::mean(report.pairwise_values);
+  report.median_r2 = stats::median(report.pairwise_values);
+
+  const std::size_t n = dataset.service_count();
+  report.service_mean_r2.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) acc += report.r2(i, j);
+    }
+    report.service_mean_r2[i] = acc / static_cast<double>(n - 1);
+  }
+
+  std::vector<workload::ServiceIndex> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&report](std::size_t a, std::size_t b) {
+              return report.service_mean_r2[a] < report.service_mean_r2[b];
+            });
+  report.outliers.assign(
+      order.begin(),
+      order.begin() + static_cast<std::ptrdiff_t>(std::min<std::size_t>(2, n)));
+  return report;
+}
+
+}  // namespace appscope::core

@@ -1,0 +1,49 @@
+#include "core/study.hpp"
+
+#include "util/error.hpp"
+
+namespace appscope::core {
+
+namespace {
+workload::ServiceIndex resolve(const TrafficDataset& dataset,
+                               const std::string& name) {
+  const auto idx = dataset.catalog().find(name);
+  APPSCOPE_REQUIRE(idx.has_value(), "run_study: unknown service: " + name);
+  return *idx;
+}
+}  // namespace
+
+StudyReport run_study(const TrafficDataset& dataset, const StudyOptions& options) {
+  const auto svc_a = resolve(dataset, options.map_service_a);
+  const auto svc_b = resolve(dataset, options.map_service_b);
+  const auto svc_conc = resolve(dataset, options.concentration_service);
+
+  StudyReport report{
+      .ranking = {analyze_service_ranking(dataset, workload::Direction::kDownlink),
+                  analyze_service_ranking(dataset, workload::Direction::kUplink)},
+      .top_services =
+          {analyze_top_services(dataset, workload::Direction::kDownlink),
+           analyze_top_services(dataset, workload::Direction::kUplink)},
+      .clustering =
+          {cluster_sweep(dataset, workload::Direction::kDownlink, options.cluster),
+           cluster_sweep(dataset, workload::Direction::kUplink, options.cluster)},
+      .peaks = analyze_peaks(dataset, workload::Direction::kDownlink,
+                             options.peaks),
+      .concentration = analyze_concentration(dataset, svc_conc,
+                                             workload::Direction::kDownlink),
+      .map_a = analyze_usage_map(dataset, svc_a, workload::Direction::kDownlink),
+      .map_b = analyze_usage_map(dataset, svc_b, workload::Direction::kDownlink),
+      .correlation =
+          {analyze_spatial_correlation(dataset, workload::Direction::kDownlink),
+           analyze_spatial_correlation(dataset, workload::Direction::kUplink)},
+      .urbanization =
+          analyze_urbanization(dataset, workload::Direction::kDownlink),
+      .week_split = analyze_week_split(dataset, workload::Direction::kDownlink),
+      .categories = analyze_category_heterogeneity(
+          dataset, workload::Direction::kDownlink),
+      .slicing = analyze_slicing(dataset, workload::Direction::kDownlink),
+  };
+  return report;
+}
+
+}  // namespace appscope::core

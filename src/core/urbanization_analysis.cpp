@@ -1,0 +1,76 @@
+#include "core/urbanization_analysis.hpp"
+
+#include "stats/correlation.hpp"
+#include "stats/regression.hpp"
+#include "util/error.hpp"
+
+namespace appscope::core {
+
+double UrbanizationReport::mean_volume_ratio(geo::Urbanization u) const {
+  APPSCOPE_REQUIRE(!services.empty(), "UrbanizationReport: empty");
+  double acc = 0.0;
+  for (const auto& s : services) {
+    acc += s.volume_ratio[static_cast<std::size_t>(u)];
+  }
+  return acc / static_cast<double>(services.size());
+}
+
+double UrbanizationReport::mean_temporal_r2(geo::Urbanization u) const {
+  APPSCOPE_REQUIRE(!services.empty(), "UrbanizationReport: empty");
+  double acc = 0.0;
+  for (const auto& s : services) {
+    acc += s.temporal_r2[static_cast<std::size_t>(u)];
+  }
+  return acc / static_cast<double>(services.size());
+}
+
+UrbanizationReport analyze_urbanization(const TrafficDataset& dataset,
+                                        workload::Direction d) {
+  UrbanizationReport report;
+  report.direction = d;
+
+  constexpr std::array<geo::Urbanization, geo::kUrbanizationCount> kClasses = {
+      geo::Urbanization::kUrban, geo::Urbanization::kSemiUrban,
+      geo::Urbanization::kRural, geo::Urbanization::kTgv};
+
+  for (std::size_t s = 0; s < dataset.service_count(); ++s) {
+    ServiceUrbanization su;
+    su.service = s;
+    su.name = dataset.catalog()[s].name;
+
+    std::array<std::vector<double>, geo::kUrbanizationCount> series;
+    for (const auto u : kClasses) {
+      series[static_cast<std::size_t>(u)] =
+          dataset.per_user_urbanization_series(s, u, d);
+    }
+    const auto& urban = series[static_cast<std::size_t>(geo::Urbanization::kUrban)];
+
+    // Top plot: slope of the through-origin least-squares regression of each
+    // class's per-user series against the urban one.
+    for (const auto u : kClasses) {
+      const auto ui = static_cast<std::size_t>(u);
+      if (u == geo::Urbanization::kUrban) {
+        su.volume_ratio[ui] = 1.0;
+        continue;
+      }
+      su.volume_ratio[ui] = stats::ols_through_origin(urban, series[ui]).slope;
+    }
+
+    // Bottom plot: mean r² between this class's series and the others'.
+    for (const auto u : kClasses) {
+      const auto ui = static_cast<std::size_t>(u);
+      double acc = 0.0;
+      std::size_t count = 0;
+      for (const auto v : kClasses) {
+        if (v == u) continue;
+        acc += stats::pearson_r2(series[ui], series[static_cast<std::size_t>(v)]);
+        ++count;
+      }
+      su.temporal_r2[ui] = acc / static_cast<double>(count);
+    }
+    report.services.push_back(std::move(su));
+  }
+  return report;
+}
+
+}  // namespace appscope::core

@@ -1,0 +1,43 @@
+// appscope/core/urbanization_analysis.hpp
+//
+// Urbanization-level analysis (paper Fig. 11):
+//  - top: for each service, the slope of the least-squares regression of the
+//    per-subscriber time series of semi-urban / rural / TGV users against
+//    urban users — "how much" each population consumes;
+//  - bottom: the mean coefficient of determination between the time series
+//    of the same service across urbanization levels — "when" they consume.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace appscope::core {
+
+struct ServiceUrbanization {
+  workload::ServiceIndex service = 0;
+  std::string name;
+  /// Regression slope of each class's per-user series vs the urban one
+  /// (urban entry is 1 by definition). Indexed by geo::Urbanization.
+  std::array<double, geo::kUrbanizationCount> volume_ratio{};
+  /// Mean r² between this class's series and the other classes' series.
+  std::array<double, geo::kUrbanizationCount> temporal_r2{};
+};
+
+struct UrbanizationReport {
+  workload::Direction direction = workload::Direction::kDownlink;
+  std::vector<ServiceUrbanization> services;
+
+  /// Cross-service mean of a class's volume ratio (paper: semi ≈ 1,
+  /// rural ≈ 0.5, TGV ≥ 2).
+  double mean_volume_ratio(geo::Urbanization u) const;
+  /// Cross-service mean of a class's temporal r².
+  double mean_temporal_r2(geo::Urbanization u) const;
+};
+
+UrbanizationReport analyze_urbanization(const TrafficDataset& dataset,
+                                        workload::Direction d);
+
+}  // namespace appscope::core

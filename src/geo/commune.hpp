@@ -1,0 +1,54 @@
+// appscope/geo/commune.hpp
+//
+// The commune is the paper's spatial unit: one of >36,000 administrative
+// regions tiling the country (average surface ~16 km²). All traffic is
+// aggregated at commune level because the ULI localization error (~3 km
+// median) makes finer tesselation meaningless.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "geo/point.hpp"
+
+namespace appscope::geo {
+
+using CommuneId = std::uint32_t;
+
+/// INSEE-style land-use classes, plus the paper's extra "TGV" category:
+/// rural communes crossed by a high-speed train line behave like a separate
+/// population (Fig. 11) and are analysed as their own group.
+enum class Urbanization : std::uint8_t {
+  kUrban = 0,
+  kSemiUrban = 1,
+  kRural = 2,
+  kTgv = 3,  // rural + crossed by a high-speed line
+};
+
+inline constexpr std::size_t kUrbanizationCount = 4;
+
+std::string_view urbanization_name(Urbanization u) noexcept;
+
+struct Commune {
+  CommuneId id = 0;
+  std::string name;
+  Point centroid;
+  double area_km2 = 16.0;
+  /// Resident population (census-like).
+  std::uint32_t population = 0;
+  Urbanization urbanization = Urbanization::kRural;
+  /// Index of the metro area this commune belongs to, or kNoMetro.
+  std::uint32_t metro = kNoMetro;
+  /// Radio coverage of the commune's base stations.
+  bool has_3g = true;
+  bool has_4g = false;
+
+  static constexpr std::uint32_t kNoMetro = 0xFFFFFFFFu;
+
+  double density_per_km2() const noexcept {
+    return area_km2 > 0.0 ? static_cast<double>(population) / area_km2 : 0.0;
+  }
+};
+
+}  // namespace appscope::geo

@@ -1,0 +1,78 @@
+#include "geo/territory_io.hpp"
+
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace appscope::geo {
+
+namespace {
+const std::vector<std::string> kHeader = {
+    "id",   "name",         "x_km",  "y_km",   "area_km2",
+    "population", "urbanization", "metro", "has_3g", "has_4g"};
+
+Urbanization parse_urbanization(const std::string& text) {
+  for (std::size_t u = 0; u < kUrbanizationCount; ++u) {
+    if (urbanization_name(static_cast<Urbanization>(u)) == text) {
+      return static_cast<Urbanization>(u);
+    }
+  }
+  throw util::InputError("territory csv: unknown urbanization '" + text + "'");
+}
+}  // namespace
+
+void write_territory_csv(const Territory& territory, std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.write_row(kHeader);
+  for (const auto& c : territory.communes()) {
+    csv.write_row({std::to_string(c.id), c.name,
+                   util::format_double(c.centroid.x_km, 3),
+                   util::format_double(c.centroid.y_km, 3),
+                   util::format_double(c.area_km2, 3),
+                   std::to_string(c.population),
+                   std::string(urbanization_name(c.urbanization)),
+                   c.metro == Commune::kNoMetro ? "-" : std::to_string(c.metro),
+                   c.has_3g ? "1" : "0", c.has_4g ? "1" : "0"});
+  }
+}
+
+Territory read_territory_csv(std::string_view text, double side_km) {
+  const auto rows = util::CsvReader::parse(text);
+  if (rows.empty() || rows.front() != kHeader) {
+    throw util::InputError("territory csv: missing or unexpected header");
+  }
+  std::vector<Commune> communes;
+  communes.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    if (r.size() != kHeader.size()) {
+      throw util::InputError("territory csv: bad arity at row " +
+                             std::to_string(i));
+    }
+    Commune c;
+    c.id = static_cast<CommuneId>(util::parse_int(r[0]));
+    if (c.id != communes.size()) {
+      throw util::InputError("territory csv: ids must be dense and ordered");
+    }
+    c.name = r[1];
+    c.centroid = Point{util::parse_double(r[2]), util::parse_double(r[3])};
+    if (c.centroid.x_km < 0.0 || c.centroid.x_km > side_km ||
+        c.centroid.y_km < 0.0 || c.centroid.y_km > side_km) {
+      throw util::InputError("territory csv: commune outside the country at row " +
+                             std::to_string(i));
+    }
+    c.area_km2 = util::parse_double(r[4]);
+    c.population = static_cast<std::uint32_t>(util::parse_int(r[5]));
+    c.urbanization = parse_urbanization(r[6]);
+    c.metro = r[7] == "-" ? Commune::kNoMetro
+                          : static_cast<std::uint32_t>(util::parse_int(r[7]));
+    c.has_3g = r[8] == "1";
+    c.has_4g = r[9] == "1";
+    communes.push_back(std::move(c));
+  }
+  return Territory(std::move(communes), {}, {}, side_km);
+}
+
+}  // namespace appscope::geo

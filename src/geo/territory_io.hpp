@@ -1,0 +1,27 @@
+// appscope/geo/territory_io.hpp
+//
+// CSV persistence for the synthetic territory: export the commune registry
+// (for mapping/joins in external tools) and re-import it, so a geography
+// can be pinned and shared independently of the generator version.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "geo/territory.hpp"
+
+namespace appscope::geo {
+
+/// Writes one row per commune:
+/// id,name,x_km,y_km,area_km2,population,urbanization,metro,has_3g,has_4g.
+void write_territory_csv(const Territory& territory, std::ostream& out);
+
+/// Parses a document produced by write_territory_csv back into communes.
+/// Metros and TGV lines are not persisted (they are generator inputs, not
+/// analysis inputs); the returned Territory carries the communes only.
+/// `side_km` must cover all commune coordinates.
+/// Throws InputError on malformed content.
+Territory read_territory_csv(std::string_view text, double side_km);
+
+}  // namespace appscope::geo

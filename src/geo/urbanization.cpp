@@ -1,0 +1,26 @@
+#include "geo/urbanization.hpp"
+
+namespace appscope::geo {
+
+std::string_view urbanization_name(Urbanization u) noexcept {
+  switch (u) {
+    case Urbanization::kUrban: return "Urban";
+    case Urbanization::kSemiUrban: return "Semi-Urban";
+    case Urbanization::kRural: return "Rural";
+    case Urbanization::kTgv: return "TGV";
+  }
+  return "???";
+}
+
+Urbanization classify_urbanization(const Commune& commune,
+                                   const UrbanizationThresholds& thresholds) {
+  const double density = commune.density_per_km2();
+  if (density >= thresholds.urban_density ||
+      commune.population >= thresholds.urban_min_population) {
+    return Urbanization::kUrban;
+  }
+  if (density >= thresholds.semi_urban_density) return Urbanization::kSemiUrban;
+  return Urbanization::kRural;
+}
+
+}  // namespace appscope::geo

@@ -1,0 +1,28 @@
+// appscope/geo/urbanization.hpp
+//
+// Density-based urbanization classifier approximating the INSEE communal
+// classification the paper uses (https://www.insee.fr/fr/information/2115011):
+// the real grid works on contiguous built-up population; at commune
+// granularity, population density separates the same three classes.
+#pragma once
+
+#include "geo/commune.hpp"
+
+namespace appscope::geo {
+
+struct UrbanizationThresholds {
+  /// Density at or above which a commune is urban (people / km²).
+  double urban_density = 1500.0;
+  /// Density at or above which a commune is semi-urban.
+  double semi_urban_density = 300.0;
+  /// Minimum population for the urban class regardless of density.
+  std::uint32_t urban_min_population = 10000;
+};
+
+/// Classifies by density (and the urban population floor). Never returns
+/// kTgv — the TGV tag is applied afterwards to rural communes near a line
+/// (see tag_tgv_communes in territory.hpp).
+Urbanization classify_urbanization(const Commune& commune,
+                                   const UrbanizationThresholds& thresholds = {});
+
+}  // namespace appscope::geo

@@ -1,0 +1,122 @@
+#include "la/fft.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appscope::la {
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  APPSCOPE_REQUIRE(n != 0 && (n & (n - 1)) == 0, "fft: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Cooley-Tukey butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= scale;
+  }
+}
+
+std::vector<double> cross_correlation_direct(const std::vector<double>& a,
+                                             const std::vector<double>& b) {
+  APPSCOPE_REQUIRE(!a.empty() && !b.empty(), "cross_correlation: empty input");
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+  const std::size_t out_len = na + nb - 1;
+  std::vector<double> out(out_len, 0.0);
+  // r[k] with shift s = k - (nb - 1): r[k] = sum_j a[j + s] * b[j].
+  for (std::size_t k = 0; k < out_len; ++k) {
+    const std::ptrdiff_t s =
+        static_cast<std::ptrdiff_t>(k) - static_cast<std::ptrdiff_t>(nb - 1);
+    const std::size_t j_lo = s < 0 ? static_cast<std::size_t>(-s) : 0;
+    const std::size_t j_hi =
+        std::min(nb, s < 0 ? nb : na - static_cast<std::size_t>(s));
+    double acc = 0.0;
+    for (std::size_t j = j_lo; j < j_hi; ++j) {
+      acc += a[static_cast<std::size_t>(static_cast<std::ptrdiff_t>(j) + s)] * b[j];
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> cross_correlation_fft(const std::vector<double>& a,
+                                          const std::vector<double>& b) {
+  APPSCOPE_REQUIRE(!a.empty() && !b.empty(), "cross_correlation: empty input");
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+  const std::size_t out_len = na + nb - 1;
+  const std::size_t n = next_pow2(out_len);
+
+  std::vector<std::complex<double>> fa(n), fb(n);
+  for (std::size_t i = 0; i < na; ++i) fa[i] = a[i];
+  // Cross-correlation = convolution with time-reversed b.
+  for (std::size_t i = 0; i < nb; ++i) fb[i] = b[nb - 1 - i];
+  fft(fa, /*inverse=*/false);
+  fft(fb, /*inverse=*/false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  fft(fa, /*inverse=*/true);
+
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+std::vector<double> cross_correlation(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  // Direct wins below ~128 points on typical hardware (see bench/perf_core);
+  // the weekly series in this library are 168 samples, near the crossover.
+  constexpr std::size_t kDirectThreshold = 128;
+  if (a.size() <= kDirectThreshold && b.size() <= kDirectThreshold) {
+    return cross_correlation_direct(a, b);
+  }
+  return cross_correlation_fft(a, b);
+}
+
+std::vector<double> convolve(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  APPSCOPE_REQUIRE(!a.empty() && !b.empty(), "convolve: empty input");
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out_len);
+  std::vector<std::complex<double>> fa(n), fb(n);
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
+  fft(fa, false);
+  fft(fb, false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  fft(fa, true);
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+}  // namespace appscope::la

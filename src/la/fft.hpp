@@ -1,0 +1,40 @@
+// appscope/la/fft.hpp
+//
+// Radix-2 complex FFT plus real cross-correlation helpers. Used by the SBD
+// shape distance (ts/sbd.hpp): the normalized cross-correlation across all
+// shifts of two length-n series is a length-(2n-1) linear cross-correlation,
+// computed either directly (O(n^2)) or via FFT (O(n log n)).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace appscope::la {
+
+/// Smallest power of two >= n (n = 0 -> 1).
+std::size_t next_pow2(std::size_t n) noexcept;
+
+/// In-place iterative radix-2 FFT. Requires data.size() to be a power of two.
+/// inverse == true applies the conjugate transform and scales by 1/N.
+void fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Full linear cross-correlation r[k] = sum_i a[i] * b[i - (k - (nb-1))]:
+/// output length na + nb - 1, with lag k - (nb - 1) ranging over
+/// [-(nb-1), na-1]. Direct O(na*nb) evaluation.
+std::vector<double> cross_correlation_direct(const std::vector<double>& a,
+                                             const std::vector<double>& b);
+
+/// Same result as cross_correlation_direct, computed via FFT.
+std::vector<double> cross_correlation_fft(const std::vector<double>& a,
+                                          const std::vector<double>& b);
+
+/// Dispatches to the faster implementation based on input size.
+std::vector<double> cross_correlation(const std::vector<double>& a,
+                                      const std::vector<double>& b);
+
+/// Linear convolution (a * b), length na + nb - 1, via FFT.
+std::vector<double> convolve(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+}  // namespace appscope::la

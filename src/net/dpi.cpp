@@ -1,0 +1,84 @@
+#include "net/dpi.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace appscope::net {
+
+std::string DpiEngine::canonical_token(std::string_view service_name) {
+  std::string out;
+  out.reserve(service_name.size());
+  for (const char c : service_name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  APPSCOPE_REQUIRE(!out.empty(), "DpiEngine: unnameable service");
+  return out;
+}
+
+DpiEngine::DpiEngine(const workload::ServiceCatalog& catalog) {
+  by_service_.resize(catalog.size());
+  for (workload::ServiceIndex s = 0; s < catalog.size(); ++s) {
+    const std::string token = canonical_token(catalog[s].name);
+    // One signature per fingerprinting technique, mirroring the paper's
+    // "multiple fingerprinting techniques, each tailored to a traffic type".
+    register_fingerprint("sni:" + token + ".com", s, DpiMatch::Technique::kSni);
+    register_fingerprint("sni:api." + token + ".com", s,
+                         DpiMatch::Technique::kSni);
+    register_fingerprint("host:" + token + ".com", s,
+                         DpiMatch::Technique::kHostSuffix);
+    register_fingerprint("host:cdn." + token + ".net", s,
+                         DpiMatch::Technique::kHostSuffix);
+    register_fingerprint("heur:proto-" + token, s,
+                         DpiMatch::Technique::kHeuristic);
+  }
+}
+
+void DpiEngine::register_fingerprint(const std::string& fp,
+                                     workload::ServiceIndex service,
+                                     DpiMatch::Technique technique) {
+  const Entry entry{service, technique};
+  if (util::starts_with(fp, "host:")) {
+    suffix_.emplace(fp.substr(5), entry);
+  } else {
+    exact_.emplace(fp, entry);
+  }
+  by_service_[service].push_back(fp);
+}
+
+std::optional<DpiMatch> DpiEngine::classify(std::string_view fingerprint) const {
+  if (fingerprint.empty()) return std::nullopt;
+
+  if (util::starts_with(fingerprint, "host:")) {
+    // Suffix matching: "host:video.cdn.youtube.net" matches the registered
+    // domain "cdn.youtube.net".
+    std::string_view host = fingerprint.substr(5);
+    while (!host.empty()) {
+      const auto it = suffix_.find(std::string(host));
+      if (it != suffix_.end()) {
+        return DpiMatch{it->second.service, it->second.technique};
+      }
+      const std::size_t dot = host.find('.');
+      if (dot == std::string_view::npos) break;
+      host.remove_prefix(dot + 1);
+    }
+    return std::nullopt;
+  }
+
+  const auto it = exact_.find(std::string(fingerprint));
+  if (it != exact_.end()) {
+    return DpiMatch{it->second.service, it->second.technique};
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& DpiEngine::fingerprints(
+    workload::ServiceIndex service) const {
+  APPSCOPE_REQUIRE(service < by_service_.size(), "DpiEngine: bad service index");
+  return by_service_[service];
+}
+
+}  // namespace appscope::net

@@ -1,0 +1,78 @@
+#include "net/gateway.hpp"
+
+#include "util/error.hpp"
+
+namespace appscope::net {
+
+Gateway::Gateway(CoreInterface interface) : interface_(interface) {}
+
+void Gateway::attach_probe(Probe* probe) {
+  APPSCOPE_REQUIRE(probe != nullptr, "Gateway: null probe");
+  probes_.push_back(probe);
+}
+
+void Gateway::emit_gtpc(const GtpcEvent& event) {
+  for (Probe* p : probes_) p->on_gtpc(event);
+}
+
+SessionId Gateway::create_session(SubscriberId subscriber, Timestamp time,
+                                  UserLocationInfo uli) {
+  const SessionId id =
+      (static_cast<SessionId>(interface_) << 56) | session_counter_++;
+  sessions_.emplace(id, SessionState{subscriber, uli});
+
+  GtpcEvent event;
+  event.type = GtpcMessageType::kCreateSession;
+  event.session = id;
+  event.subscriber = subscriber;
+  event.time = time;
+  event.uli = uli;
+  event.interface = interface_;
+  emit_gtpc(event);
+  return id;
+}
+
+void Gateway::location_update(SessionId session, Timestamp time,
+                              UserLocationInfo uli) {
+  const auto it = sessions_.find(session);
+  APPSCOPE_REQUIRE(it != sessions_.end(), "Gateway: unknown session");
+  it->second.uli = uli;
+
+  GtpcEvent event;
+  event.type = GtpcMessageType::kLocationUpdate;
+  event.session = session;
+  event.subscriber = it->second.subscriber;
+  event.time = time;
+  event.uli = uli;
+  event.interface = interface_;
+  emit_gtpc(event);
+}
+
+void Gateway::transfer(SessionId session, Timestamp time, Bytes downlink,
+                       Bytes uplink, std::string fingerprint) {
+  APPSCOPE_REQUIRE(sessions_.contains(session), "Gateway: unknown session");
+  GtpuRecord record;
+  record.session = session;
+  record.time = time;
+  record.downlink_bytes = downlink;
+  record.uplink_bytes = uplink;
+  record.fingerprint = std::move(fingerprint);
+  record.interface = interface_;
+  for (Probe* p : probes_) p->on_gtpu(record);
+}
+
+void Gateway::delete_session(SessionId session, Timestamp time) {
+  const auto it = sessions_.find(session);
+  APPSCOPE_REQUIRE(it != sessions_.end(), "Gateway: unknown session");
+
+  GtpcEvent event;
+  event.type = GtpcMessageType::kDeleteSession;
+  event.session = session;
+  event.subscriber = it->second.subscriber;
+  event.time = time;
+  event.interface = interface_;
+  sessions_.erase(it);
+  emit_gtpc(event);
+}
+
+}  // namespace appscope::net

@@ -1,0 +1,65 @@
+// appscope/net/gateway.hpp
+//
+// The packet-core gateway (GGSN for 3G, P-GW for 4G). In the paper's
+// deployment the 3G and 4G gateways are co-located, with probes tapping the
+// Gn and S5/S8 interfaces right at the gateway — so this class is where
+// GTP-C and GTP-U events are surfaced to attached probes.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/gtp.hpp"
+#include "net/probe.hpp"
+
+namespace appscope::net {
+
+class Gateway {
+ public:
+  /// `interface` names the tapped side (kGn → GGSN, kS5S8 → P-GW).
+  explicit Gateway(CoreInterface interface);
+
+  /// Attaches a passive probe; not owned, must outlive the gateway.
+  void attach_probe(Probe* probe);
+
+  /// Establishes a bearer (Create PDP Context / Create Session).
+  /// Returns the assigned session id.
+  SessionId create_session(SubscriberId subscriber, Timestamp time,
+                           UserLocationInfo uli);
+
+  /// ULI refresh (handover across RAT or Routing/Tracking Areas).
+  /// Throws PreconditionError for unknown sessions.
+  void location_update(SessionId session, Timestamp time, UserLocationInfo uli);
+
+  /// Tunnels one traffic burst through the user plane.
+  /// Throws PreconditionError for unknown sessions.
+  void transfer(SessionId session, Timestamp time, Bytes downlink, Bytes uplink,
+                std::string fingerprint);
+
+  /// Tears the bearer down. Throws PreconditionError for unknown sessions.
+  void delete_session(SessionId session, Timestamp time);
+
+  std::size_t active_sessions() const noexcept { return sessions_.size(); }
+  std::uint64_t total_sessions_created() const noexcept {
+    return session_counter_;
+  }
+  CoreInterface interface() const noexcept { return interface_; }
+
+ private:
+  struct SessionState {
+    SubscriberId subscriber = 0;
+    UserLocationInfo uli;
+  };
+
+  void emit_gtpc(const GtpcEvent& event);
+
+  CoreInterface interface_;
+  std::vector<Probe*> probes_;
+  std::unordered_map<SessionId, SessionState> sessions_;
+  /// Session ids carry the gateway interface in the top byte so bearers of
+  /// co-located gateways never collide at a probe tapping both.
+  std::uint64_t session_counter_ = 0;
+};
+
+}  // namespace appscope::net

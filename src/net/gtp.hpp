@@ -1,0 +1,60 @@
+// appscope/net/gtp.hpp
+//
+// GPRS Tunneling Protocol records as seen by the passive probes.
+//
+// The probes inspect two planes (paper Sec. 2):
+//  - GTP-C (control): PDP Context / EPS Bearer management messages carrying
+//    the User Location Information (ULI) — this is how sessions are
+//    geo-referenced;
+//  - GTP-U (user): tunneled IP traffic, from which transport/application
+//    metadata is extracted for DPI classification.
+#pragma once
+
+#include <string>
+
+#include "net/types.hpp"
+
+namespace appscope::net {
+
+/// User Location Information: the cell the subscriber was last known at.
+/// Updated only on session establishment and on RAT / routing-area changes,
+/// which is why localization is coarse (~3 km median error in the paper).
+struct UserLocationInfo {
+  CellId cell = 0;
+  Rat rat = Rat::kUmts3g;
+};
+
+enum class GtpcMessageType : std::uint8_t {
+  /// 3G: Create PDP Context; 4G: Create Session (EPS bearer activation).
+  kCreateSession = 0,
+  /// ULI refresh on handover across RAT or Routing/Tracking Areas.
+  kLocationUpdate = 1,
+  /// Session teardown.
+  kDeleteSession = 2,
+};
+
+/// A control-plane event observed on Gn or S5/S8.
+struct GtpcEvent {
+  GtpcMessageType type = GtpcMessageType::kCreateSession;
+  SessionId session = 0;
+  SubscriberId subscriber = 0;
+  Timestamp time = 0;
+  UserLocationInfo uli;
+  CoreInterface interface = CoreInterface::kGn;
+};
+
+/// A user-plane volume record: one classified "chunk" of tunneled traffic
+/// belonging to a session. Real probes export flow records on this
+/// granularity; the simulator emits one record per session activity burst.
+struct GtpuRecord {
+  SessionId session = 0;
+  Timestamp time = 0;
+  Bytes downlink_bytes = 0;
+  Bytes uplink_bytes = 0;
+  /// Application-layer fingerprint material available to DPI (TLS SNI,
+  /// HTTP host, protocol heuristics...). Empty when the flow is opaque.
+  std::string fingerprint;
+  CoreInterface interface = CoreInterface::kGn;
+};
+
+}  // namespace appscope::net

@@ -1,0 +1,52 @@
+#include "net/probe.hpp"
+
+#include "util/error.hpp"
+
+namespace appscope::net {
+
+Probe::Probe(const BaseStationRegistry& cells, const DpiEngine& dpi)
+    : cells_(cells), dpi_(dpi) {}
+
+void Probe::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Probe::on_gtpc(const GtpcEvent& event) {
+  ++counters_.gtpc_events;
+  switch (event.type) {
+    case GtpcMessageType::kCreateSession:
+    case GtpcMessageType::kLocationUpdate:
+      bearers_[event.session] = event.uli;
+      break;
+    case GtpcMessageType::kDeleteSession:
+      bearers_.erase(event.session);
+      break;
+  }
+}
+
+void Probe::on_gtpu(const GtpuRecord& record) {
+  ++counters_.gtpu_records;
+  const auto it = bearers_.find(record.session);
+  if (it == bearers_.end()) {
+    ++counters_.orphan_records;
+    return;
+  }
+  const UserLocationInfo& uli = it->second;
+
+  UsageRecord usage;
+  const auto match = dpi_.classify(record.fingerprint);
+  if (match) {
+    usage.service = match->service;
+    counters_.classified_bytes += record.downlink_bytes + record.uplink_bytes;
+    ++counters_.technique_hits[static_cast<std::size_t>(match->technique)];
+  } else {
+    counters_.unclassified_bytes += record.downlink_bytes + record.uplink_bytes;
+  }
+  usage.commune = cells_.commune_of(uli.cell);
+  usage.week_hour = std::min<std::size_t>(record.time / kSecondsPerHour, 167);
+  usage.downlink_bytes = record.downlink_bytes;
+  usage.uplink_bytes = record.uplink_bytes;
+  usage.rat = uli.rat;
+
+  if (sink_) sink_(usage);
+}
+
+}  // namespace appscope::net

@@ -1,0 +1,42 @@
+// appscope/net/types.hpp
+//
+// Identifiers and units shared across the simulated 3G/4G packet core
+// (Fig. 1 of the paper: UTRAN/EUTRAN access, GGSN / P-GW gateways, passive
+// probes on the Gn and S5/S8 interfaces).
+#pragma once
+
+#include <cstdint>
+
+namespace appscope::net {
+
+/// Subscriber identity (IMSI-like opaque id).
+using SubscriberId = std::uint64_t;
+
+/// IP session / bearer identity (TEID-like).
+using SessionId = std::uint64_t;
+
+/// Cell (base station sector) identity carried in the ULI.
+using CellId = std::uint32_t;
+
+/// Seconds since the start of the measurement week.
+using Timestamp = std::uint32_t;
+
+/// Traffic volume in bytes.
+using Bytes = std::uint64_t;
+
+/// Radio access technology of a cell.
+enum class Rat : std::uint8_t {
+  kUmts3g = 0,  // UTRAN, traffic through SGSN -> GGSN (Gn interface)
+  kLte4g = 1,   // EUTRAN, traffic through S-GW -> P-GW (S5/S8 interface)
+};
+
+/// The core-network interface a probe taps.
+enum class CoreInterface : std::uint8_t {
+  kGn = 0,    // 3G: SGSN <-> GGSN
+  kS5S8 = 1,  // 4G: S-GW <-> P-GW
+};
+
+inline constexpr Timestamp kSecondsPerHour = 3600;
+inline constexpr Timestamp kSecondsPerWeek = 168 * kSecondsPerHour;
+
+}  // namespace appscope::net

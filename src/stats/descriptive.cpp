@@ -1,0 +1,161 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appscope::stats {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  APPSCOPE_REQUIRE(count_ > 0, "RunningStats::mean: no samples");
+  return mean_;
+}
+
+double RunningStats::variance_population() const {
+  APPSCOPE_REQUIRE(count_ > 0, "variance_population: no samples");
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::variance_sample() const {
+  APPSCOPE_REQUIRE(count_ > 1, "variance_sample: needs >= 2 samples");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev_population() const {
+  return std::sqrt(variance_population());
+}
+
+double RunningStats::stddev_sample() const { return std::sqrt(variance_sample()); }
+
+double RunningStats::min() const {
+  APPSCOPE_REQUIRE(count_ > 0, "RunningStats::min: no samples");
+  return min_;
+}
+
+double RunningStats::max() const {
+  APPSCOPE_REQUIRE(count_ > 0, "RunningStats::max: no samples");
+  return max_;
+}
+
+namespace {
+RunningStats accumulate(std::span<const double> xs) {
+  RunningStats rs;
+  for (const double x : xs) rs.add(x);
+  return rs;
+}
+}  // namespace
+
+double mean(std::span<const double> xs) { return accumulate(xs).mean(); }
+
+double variance_population(std::span<const double> xs) {
+  return accumulate(xs).variance_population();
+}
+
+double variance_sample(std::span<const double> xs) {
+  return accumulate(xs).variance_sample();
+}
+
+double stddev_population(std::span<const double> xs) {
+  return accumulate(xs).stddev_population();
+}
+
+double stddev_sample(std::span<const double> xs) {
+  return accumulate(xs).stddev_sample();
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double q) {
+  APPSCOPE_REQUIRE(!xs.empty(), "quantile: empty input");
+  APPSCOPE_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<double> quantiles(std::span<const double> xs,
+                              std::span<const double> qs) {
+  APPSCOPE_REQUIRE(!xs.empty(), "quantiles: empty input");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) {
+    APPSCOPE_REQUIRE(q >= 0.0 && q <= 1.0, "quantiles: q must be in [0,1]");
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    out.push_back(sorted[lo] * (1.0 - frac) + sorted[hi] * frac);
+  }
+  return out;
+}
+
+double skewness(std::span<const double> xs) {
+  APPSCOPE_REQUIRE(xs.size() >= 2, "skewness: needs >= 2 samples");
+  const double m = mean(xs);
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (const double x : xs) {
+    const double d = x - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  const double n = static_cast<double>(xs.size());
+  m2 /= n;
+  m3 /= n;
+  APPSCOPE_REQUIRE(m2 > 0.0, "skewness: zero variance");
+  return m3 / std::pow(m2, 1.5);
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  APPSCOPE_REQUIRE(m != 0.0, "coefficient_of_variation: zero mean");
+  return stddev_population(xs) / m;
+}
+
+double peak_to_mean(std::span<const double> xs) {
+  const double m = mean(xs);
+  APPSCOPE_REQUIRE(m > 0.0, "peak_to_mean: mean must be positive");
+  return *std::max_element(xs.begin(), xs.end()) / m;
+}
+
+}  // namespace appscope::stats

@@ -1,0 +1,66 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace appscope::stats {
+
+namespace {
+void finish_fit(LinearFit& fit, std::span<const double> x,
+                std::span<const double> y) {
+  const double my = mean(y);
+  double ssr = 0.0;
+  double sst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - fit.predict(x[i]);
+    ssr += e * e;
+    const double d = y[i] - my;
+    sst += d * d;
+  }
+  fit.rmse = std::sqrt(ssr / static_cast<double>(x.size()));
+  fit.r2 = sst > 0.0 ? 1.0 - ssr / sst : (ssr == 0.0 ? 1.0 : 0.0);
+  fit.n = x.size();
+}
+}  // namespace
+
+LinearFit ols(std::span<const double> x, std::span<const double> y) {
+  APPSCOPE_REQUIRE(x.size() == y.size(), "ols: length mismatch");
+  APPSCOPE_REQUIRE(x.size() >= 2, "ols: needs >= 2 points");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    sxx += dx * dx;
+    sxy += dx * (y[i] - my);
+  }
+  APPSCOPE_REQUIRE(sxx > 0.0, "ols: x is constant");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  finish_fit(fit, x, y);
+  return fit;
+}
+
+LinearFit ols_through_origin(std::span<const double> x,
+                             std::span<const double> y) {
+  APPSCOPE_REQUIRE(x.size() == y.size(), "ols_through_origin: length mismatch");
+  APPSCOPE_REQUIRE(!x.empty(), "ols_through_origin: empty input");
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  APPSCOPE_REQUIRE(sxx > 0.0, "ols_through_origin: x is all zeros");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = 0.0;
+  finish_fit(fit, x, y);
+  return fit;
+}
+
+}  // namespace appscope::stats

@@ -1,0 +1,33 @@
+// appscope/stats/regression.hpp
+//
+// Least-squares fits used by the analyses:
+//  - simple OLS y = a + b x (Zipf log-log fitting, Fig. 2),
+//  - through-origin slope y = b x (per-user volume ratios across
+//    urbanization levels, Fig. 11 top).
+#pragma once
+
+#include <span>
+
+namespace appscope::stats {
+
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination of the fit.
+  double r2 = 0.0;
+  /// Root-mean-square of the residuals.
+  double rmse = 0.0;
+  std::size_t n = 0;
+
+  double predict(double x) const noexcept { return intercept + slope * x; }
+};
+
+/// Ordinary least squares y = a + b x. Requires >= 2 points and non-constant x.
+LinearFit ols(std::span<const double> x, std::span<const double> y);
+
+/// Least squares through the origin, y = b x: b = Σxy / Σx².
+/// Requires >= 1 point and Σx² > 0. r2 reports 1 - SSR/SST with SST centered,
+/// so it is comparable with ols().
+LinearFit ols_through_origin(std::span<const double> x, std::span<const double> y);
+
+}  // namespace appscope::stats

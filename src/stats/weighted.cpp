@@ -1,0 +1,61 @@
+#include "stats/weighted.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace appscope::stats {
+
+namespace {
+double validated_total_weight(std::span<const double> values,
+                              std::span<const double> weights) {
+  APPSCOPE_REQUIRE(values.size() == weights.size(),
+                   "weighted stats: length mismatch");
+  APPSCOPE_REQUIRE(!values.empty(), "weighted stats: empty input");
+  double total = 0.0;
+  for (const double w : weights) {
+    APPSCOPE_REQUIRE(w >= 0.0, "weighted stats: negative weight");
+    total += w;
+  }
+  APPSCOPE_REQUIRE(total > 0.0, "weighted stats: zero total weight");
+  return total;
+}
+}  // namespace
+
+double weighted_mean(std::span<const double> values,
+                     std::span<const double> weights) {
+  const double total = validated_total_weight(values, weights);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    acc += values[i] * weights[i];
+  }
+  return acc / total;
+}
+
+double weighted_quantile(std::span<const double> values,
+                         std::span<const double> weights, double q) {
+  APPSCOPE_REQUIRE(q >= 0.0 && q <= 1.0, "weighted_quantile: q in [0,1]");
+  const double total = validated_total_weight(values, weights);
+
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&values](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+
+  const double target = q * total;
+  double cumulative = 0.0;
+  for (const std::size_t i : order) {
+    cumulative += weights[i];
+    if (cumulative >= target) return values[i];
+  }
+  return values[order.back()];
+}
+
+double weighted_median(std::span<const double> values,
+                       std::span<const double> weights) {
+  return weighted_quantile(values, weights, 0.5);
+}
+
+}  // namespace appscope::stats

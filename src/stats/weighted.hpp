@@ -1,0 +1,28 @@
+// appscope/stats/weighted.hpp
+//
+// Weight-aware descriptive statistics. The paper's Fig. 8 CDF is over
+// communes (each commune one vote); these helpers enable the
+// population-weighted variant ("what does the median *subscriber* see"),
+// which downstream users of commune-level data routinely need.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace appscope::stats {
+
+/// Weighted arithmetic mean; requires equal lengths, non-negative weights
+/// with a positive total.
+double weighted_mean(std::span<const double> values,
+                     std::span<const double> weights);
+
+/// Weighted quantile (q in [0, 1]): smallest value v such that the weight
+/// of samples <= v reaches q of the total weight.
+double weighted_quantile(std::span<const double> values,
+                         std::span<const double> weights, double q);
+
+/// Weighted median.
+double weighted_median(std::span<const double> values,
+                       std::span<const double> weights);
+
+}  // namespace appscope::stats

@@ -1,0 +1,65 @@
+#include "stats/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appscope::stats {
+
+double ZipfFit::predict(std::size_t rank) const {
+  APPSCOPE_REQUIRE(rank >= 1, "ZipfFit::predict: ranks are 1-based");
+  return std::pow(10.0, log10_scale - exponent * std::log10(static_cast<double>(rank)));
+}
+
+std::vector<double> rank_sizes(std::span<const double> values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const double v : values) {
+    if (v > 0.0) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+ZipfFit fit_zipf(std::span<const double> rank_sizes_desc, std::size_t first_rank,
+                 std::size_t last_rank) {
+  APPSCOPE_REQUIRE(first_rank >= 1 && first_rank <= last_rank,
+                   "fit_zipf: invalid rank window");
+  APPSCOPE_REQUIRE(last_rank <= rank_sizes_desc.size(),
+                   "fit_zipf: window exceeds ranking length");
+  std::vector<double> log_rank;
+  std::vector<double> log_vol;
+  for (std::size_t r = first_rank; r <= last_rank; ++r) {
+    const double v = rank_sizes_desc[r - 1];
+    if (v <= 0.0) continue;
+    log_rank.push_back(std::log10(static_cast<double>(r)));
+    log_vol.push_back(std::log10(v));
+  }
+  APPSCOPE_REQUIRE(log_rank.size() >= 2, "fit_zipf: needs >= 2 usable ranks");
+  const LinearFit lf = ols(log_rank, log_vol);
+  ZipfFit fit;
+  fit.exponent = -lf.slope;
+  fit.log10_scale = lf.intercept;
+  fit.r2 = lf.r2;
+  fit.ranks_used = log_rank.size();
+  return fit;
+}
+
+ZipfFit fit_zipf_top_half(std::span<const double> rank_sizes_desc) {
+  APPSCOPE_REQUIRE(rank_sizes_desc.size() >= 4,
+                   "fit_zipf_top_half: needs >= 4 ranks");
+  return fit_zipf(rank_sizes_desc, 1, rank_sizes_desc.size() / 2);
+}
+
+double tail_cutoff_ratio(std::span<const double> rank_sizes_desc,
+                         const ZipfFit& head_fit) {
+  APPSCOPE_REQUIRE(!rank_sizes_desc.empty(), "tail_cutoff_ratio: empty ranking");
+  const std::size_t last = rank_sizes_desc.size();
+  const double actual = rank_sizes_desc[last - 1];
+  const double predicted = head_fit.predict(last);
+  APPSCOPE_REQUIRE(predicted > 0.0, "tail_cutoff_ratio: degenerate fit");
+  return actual / predicted;
+}
+
+}  // namespace appscope::stats

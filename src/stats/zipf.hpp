@@ -1,0 +1,48 @@
+// appscope/stats/zipf.hpp
+//
+// Rank-size (Zipf) analysis for Fig. 2: the paper fits the *top half* of the
+// service ranking with a Zipf law (exponents -1.69 downlink, -1.55 uplink)
+// and observes a cutoff separating the bottom half.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/regression.hpp"
+
+namespace appscope::stats {
+
+struct ZipfFit {
+  /// Zipf exponent s in volume(rank) ∝ rank^{-s}; positive for decaying laws.
+  double exponent = 0.0;
+  /// log10 of the fitted volume at rank 1.
+  double log10_scale = 0.0;
+  /// r² of the log-log linear fit.
+  double r2 = 0.0;
+  /// Number of ranks used by the fit.
+  std::size_t ranks_used = 0;
+
+  /// Fitted (unnormalized) volume at a 1-based rank.
+  double predict(std::size_t rank) const;
+};
+
+/// Sorts values descending and returns the rank-size sequence (1-based ranks
+/// implied by position). Zero/negative values are dropped.
+std::vector<double> rank_sizes(std::span<const double> values);
+
+/// Fits volume(rank) = C * rank^{-s} by OLS on (log10 rank, log10 volume)
+/// over ranks [first_rank, last_rank] (1-based, inclusive).
+/// Requires at least two usable ranks in the window.
+ZipfFit fit_zipf(std::span<const double> rank_sizes_desc, std::size_t first_rank,
+                 std::size_t last_rank);
+
+/// Convenience: fit over the top half of the ranking (the paper's method).
+ZipfFit fit_zipf_top_half(std::span<const double> rank_sizes_desc);
+
+/// Measures the cutoff: ratio between the tail's actual volume and the
+/// head-fit's extrapolation at the last rank. Values << 1 indicate the
+/// bottom-half cutoff the paper reports.
+double tail_cutoff_ratio(std::span<const double> rank_sizes_desc,
+                         const ZipfFit& head_fit);
+
+}  // namespace appscope::stats

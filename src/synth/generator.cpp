@@ -1,0 +1,96 @@
+#include "synth/generator.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workload/spatial_profile.hpp"
+#include "workload/temporal_profile.hpp"
+
+namespace appscope::synth {
+
+AnalyticGenerator::AnalyticGenerator(const geo::Territory& territory,
+                                     const workload::SubscriberBase& subscribers,
+                                     const workload::ServiceCatalog& catalog,
+                                     std::uint64_t traffic_seed,
+                                     double temporal_noise_sigma,
+                                     const workload::PresenceModel* presence)
+    : territory_(territory),
+      subscribers_(subscribers),
+      catalog_(catalog),
+      seed_(traffic_seed),
+      noise_sigma_(temporal_noise_sigma),
+      presence_(presence) {
+  APPSCOPE_REQUIRE(territory_.size() == subscribers_.commune_count(),
+                   "AnalyticGenerator: territory/subscriber mismatch");
+  APPSCOPE_REQUIRE(noise_sigma_ >= 0.0, "AnalyticGenerator: negative noise");
+
+  const std::size_t n = catalog_.size();
+  share_.resize(n);
+  share_tgv_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    share_[s].resize(ts::kHoursPerWeek);
+    share_tgv_[s].resize(ts::kHoursPerWeek);
+    double total = 0.0;
+    double total_tgv = 0.0;
+    for (std::size_t h = 0; h < ts::kHoursPerWeek; ++h) {
+      const double base = catalog_[s].temporal.evaluate(h);
+      share_[s][h] = base;
+      share_tgv_[s][h] = base * workload::tgv_modulation(h);
+      total += base;
+      total_tgv += share_tgv_[s][h];
+    }
+    for (std::size_t h = 0; h < ts::kHoursPerWeek; ++h) {
+      share_[s][h] /= total;
+      share_tgv_[s][h] /= total_tgv;
+    }
+  }
+}
+
+double AnalyticGenerator::expected_weekly_per_user(workload::ServiceIndex service,
+                                                   geo::CommuneId commune,
+                                                   workload::Direction d) const {
+  APPSCOPE_REQUIRE(service < catalog_.size(), "expected_weekly_per_user: bad service");
+  const auto& spec = catalog_[service];
+  return workload::per_user_rate(
+      spec.spatial, spec.urban_rate(d), territory_.commune(commune), seed_,
+      service * 2 + static_cast<std::uint64_t>(d));
+}
+
+void AnalyticGenerator::generate(TrafficSink& sink) const {
+  const std::size_t n_services = catalog_.size();
+  const double mu_correction = -0.5 * noise_sigma_ * noise_sigma_;
+
+  for (const auto& commune : territory_.communes()) {
+    const double subs = static_cast<double>(subscribers_.subscribers(commune.id));
+    const bool is_tgv = commune.urbanization == geo::Urbanization::kTgv;
+    util::Rng noise_rng(
+        util::SplitMix64(seed_ ^ (0xBEEFULL + commune.id * 0x9E3779B97F4A7C15ULL))
+            .next());
+
+    for (std::size_t s = 0; s < n_services; ++s) {
+      const double weekly_dl =
+          expected_weekly_per_user(s, commune.id, workload::Direction::kDownlink);
+      const double weekly_ul =
+          expected_weekly_per_user(s, commune.id, workload::Direction::kUplink);
+      if (weekly_dl <= 0.0 && weekly_ul <= 0.0) continue;
+
+      const auto& hourly = is_tgv ? share_tgv_[s] : share_[s];
+      for (std::size_t h = 0; h < ts::kHoursPerWeek; ++h) {
+        const double jitter =
+            noise_sigma_ > 0.0 ? noise_rng.lognormal(mu_correction, noise_sigma_)
+                               : 1.0;
+        const double present =
+            presence_ != nullptr ? presence_->presence(commune.id, h) : 1.0;
+        TrafficCell cell;
+        cell.service = s;
+        cell.commune = commune.id;
+        cell.week_hour = h;
+        cell.urbanization = commune.urbanization;
+        cell.downlink_bytes = subs * weekly_dl * hourly[h] * jitter * present;
+        cell.uplink_bytes = subs * weekly_ul * hourly[h] * jitter * present;
+        sink.consume(cell);
+      }
+    }
+  }
+}
+
+}  // namespace appscope::synth

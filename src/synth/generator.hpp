@@ -1,0 +1,53 @@
+// appscope/synth/generator.hpp
+//
+// Streaming analytic traffic generator: evaluates the expected traffic of
+// every (service, commune, hour) cell directly from the workload model —
+// per-user rates × temporal shares × jitter — and streams the cells into
+// aggregation sinks. Statistically this is the large-population limit of
+// the event-level net::SessionSimulator (tests verify the two agree), but
+// it scales to the nationwide 36k-commune scenario in seconds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/territory.hpp"
+#include "synth/sinks.hpp"
+#include "workload/catalog.hpp"
+#include "workload/mobility.hpp"
+#include "workload/population.hpp"
+
+namespace appscope::synth {
+
+class AnalyticGenerator {
+ public:
+  /// References must outlive the generator. `presence` (optional) applies
+  /// the commuter mobility model: each cell's volume is scaled by the
+  /// commune's presence multiplier at that hour.
+  AnalyticGenerator(const geo::Territory& territory,
+                    const workload::SubscriberBase& subscribers,
+                    const workload::ServiceCatalog& catalog,
+                    std::uint64_t traffic_seed, double temporal_noise_sigma,
+                    const workload::PresenceModel* presence = nullptr);
+
+  /// Streams the full week into `sink` (use FanoutSink for several).
+  void generate(TrafficSink& sink) const;
+
+  /// Expected (noise-free) weekly per-user volume of a service in a commune.
+  double expected_weekly_per_user(workload::ServiceIndex service,
+                                  geo::CommuneId commune,
+                                  workload::Direction d) const;
+
+ private:
+  const geo::Territory& territory_;
+  const workload::SubscriberBase& subscribers_;
+  const workload::ServiceCatalog& catalog_;
+  std::uint64_t seed_;
+  double noise_sigma_;
+  const workload::PresenceModel* presence_ = nullptr;
+  /// [service][hour] weekly share, for regular and TGV communes.
+  std::vector<std::vector<double>> share_;
+  std::vector<std::vector<double>> share_tgv_;
+};
+
+}  // namespace appscope::synth

@@ -1,0 +1,39 @@
+// appscope/synth/scenario.hpp
+//
+// Scenario presets bundling the geographic, population and traffic
+// configuration of a synthetic measurement campaign.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/territory.hpp"
+#include "workload/mobility.hpp"
+#include "workload/population.hpp"
+
+namespace appscope::synth {
+
+struct ScenarioConfig {
+  geo::CountryConfig country;
+  workload::PopulationConfig population;
+  /// Seed for traffic randomness (spatial residuals, temporal noise).
+  std::uint64_t traffic_seed = 4242;
+  /// Multiplicative lognormal noise sigma applied per (service, commune,
+  /// hour) cell; national aggregates average it out, commune-hour series
+  /// keep realistic jitter.
+  double temporal_noise_sigma = 0.05;
+  /// Apply the commuter presence model (workload::PresenceModel): traffic
+  /// follows subscribers into the metro cores during working hours.
+  /// Off by default — an extension on top of the paper's static model; the
+  /// ablation_mobility bench quantifies its effect.
+  bool enable_mobility = false;
+  workload::MobilityConfig mobility;
+
+  /// Small scenario for unit/integration tests (~400 communes).
+  static ScenarioConfig test_scale();
+  /// Medium scenario for examples (~4,000 communes).
+  static ScenarioConfig example_scale();
+  /// Full nationwide scenario matching the paper (~36,000 communes).
+  static ScenarioConfig paper_scale();
+};
+
+}  // namespace appscope::synth

@@ -1,0 +1,125 @@
+#include "synth/sinks.hpp"
+
+#include "util/error.hpp"
+
+namespace appscope::synth {
+
+namespace {
+constexpr std::size_t dir_index(workload::Direction d) noexcept {
+  return static_cast<std::size_t>(d);
+}
+}  // namespace
+
+// --- NationalSeriesSink -----------------------------------------------------
+
+NationalSeriesSink::NationalSeriesSink(std::size_t service_count)
+    : services_(service_count), data_(service_count) {
+  APPSCOPE_REQUIRE(service_count > 0, "NationalSeriesSink: no services");
+  for (auto& per_service : data_) {
+    for (auto& series : per_service) series.assign(ts::kHoursPerWeek, 0.0);
+  }
+}
+
+void NationalSeriesSink::consume(const TrafficCell& cell) {
+  APPSCOPE_DCHECK(cell.service < services_ && cell.week_hour < ts::kHoursPerWeek,
+                  "NationalSeriesSink: cell out of range");
+  data_[cell.service][0][cell.week_hour] += cell.downlink_bytes;
+  data_[cell.service][1][cell.week_hour] += cell.uplink_bytes;
+}
+
+const std::vector<double>& NationalSeriesSink::series(
+    workload::ServiceIndex service, workload::Direction d) const {
+  APPSCOPE_REQUIRE(service < services_, "NationalSeriesSink: bad service");
+  return data_[service][dir_index(d)];
+}
+
+ts::TimeSeries NationalSeriesSink::time_series(workload::ServiceIndex service,
+                                               workload::Direction d,
+                                               const std::string& label) const {
+  const auto& s = series(service, d);
+  return ts::TimeSeries(std::vector<double>(s.begin(), s.end()), label);
+}
+
+// --- CommuneTotalsSink --------------------------------------------------------
+
+CommuneTotalsSink::CommuneTotalsSink(std::size_t service_count,
+                                     std::size_t commune_count)
+    : services_(service_count), communes_(commune_count) {
+  APPSCOPE_REQUIRE(service_count > 0 && commune_count > 0,
+                   "CommuneTotalsSink: empty dimensions");
+  for (auto& plane : data_) plane.assign(service_count * commune_count, 0.0);
+}
+
+void CommuneTotalsSink::consume(const TrafficCell& cell) {
+  APPSCOPE_DCHECK(cell.service < services_ && cell.commune < communes_,
+                  "CommuneTotalsSink: cell out of range");
+  const std::size_t i = cell.service * communes_ + cell.commune;
+  data_[0][i] += cell.downlink_bytes;
+  data_[1][i] += cell.uplink_bytes;
+}
+
+double CommuneTotalsSink::total(workload::ServiceIndex service,
+                                geo::CommuneId commune,
+                                workload::Direction d) const {
+  APPSCOPE_REQUIRE(service < services_ && commune < communes_,
+                   "CommuneTotalsSink: index out of range");
+  return data_[dir_index(d)][service * communes_ + commune];
+}
+
+std::vector<double> CommuneTotalsSink::commune_vector(
+    workload::ServiceIndex service, workload::Direction d) const {
+  APPSCOPE_REQUIRE(service < services_, "CommuneTotalsSink: bad service");
+  const auto& plane = data_[dir_index(d)];
+  const std::size_t base = service * communes_;
+  return std::vector<double>(plane.begin() + static_cast<std::ptrdiff_t>(base),
+                             plane.begin() + static_cast<std::ptrdiff_t>(base + communes_));
+}
+
+// --- UrbanizationSeriesSink ---------------------------------------------------
+
+UrbanizationSeriesSink::UrbanizationSeriesSink(std::size_t service_count)
+    : services_(service_count), data_(service_count) {
+  APPSCOPE_REQUIRE(service_count > 0, "UrbanizationSeriesSink: no services");
+  for (auto& per_service : data_) {
+    for (auto& per_class : per_service) {
+      for (auto& series : per_class) series.assign(ts::kHoursPerWeek, 0.0);
+    }
+  }
+}
+
+void UrbanizationSeriesSink::consume(const TrafficCell& cell) {
+  APPSCOPE_DCHECK(cell.service < services_ && cell.week_hour < ts::kHoursPerWeek,
+                  "UrbanizationSeriesSink: cell out of range");
+  auto& per_class = data_[cell.service][static_cast<std::size_t>(cell.urbanization)];
+  per_class[0][cell.week_hour] += cell.downlink_bytes;
+  per_class[1][cell.week_hour] += cell.uplink_bytes;
+}
+
+const std::vector<double>& UrbanizationSeriesSink::series(
+    workload::ServiceIndex service, geo::Urbanization u,
+    workload::Direction d) const {
+  APPSCOPE_REQUIRE(service < services_, "UrbanizationSeriesSink: bad service");
+  return data_[service][static_cast<std::size_t>(u)][dir_index(d)];
+}
+
+// --- TotalsSink ------------------------------------------------------------------
+
+void TotalsSink::consume(const TrafficCell& cell) {
+  downlink_ += cell.downlink_bytes;
+  uplink_ += cell.uplink_bytes;
+  ++cells_;
+}
+
+// --- FanoutSink ------------------------------------------------------------------
+
+FanoutSink::FanoutSink(std::vector<TrafficSink*> sinks) : sinks_(std::move(sinks)) {
+  for (TrafficSink* s : sinks_) {
+    APPSCOPE_REQUIRE(s != nullptr, "FanoutSink: null sink");
+  }
+}
+
+void FanoutSink::consume(const TrafficCell& cell) {
+  for (TrafficSink* s : sinks_) s->consume(cell);
+}
+
+}  // namespace appscope::synth

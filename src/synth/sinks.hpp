@@ -1,0 +1,122 @@
+// appscope/synth/sinks.hpp
+//
+// Streaming aggregation sinks. The full-scale scenario evaluates
+// 36k communes × 20 services × 168 hours × 2 directions of traffic cells;
+// sinks fold that stream into exactly the aggregates the paper's analyses
+// need, so memory stays O(aggregates) instead of O(tensor).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "geo/commune.hpp"
+#include "ts/time_series.hpp"
+#include "workload/service.hpp"
+
+namespace appscope::synth {
+
+/// One generated traffic cell: volume of a service in a commune over one
+/// hour, split by direction.
+struct TrafficCell {
+  workload::ServiceIndex service = 0;
+  geo::CommuneId commune = 0;
+  std::size_t week_hour = 0;
+  geo::Urbanization urbanization = geo::Urbanization::kRural;
+  double downlink_bytes = 0.0;
+  double uplink_bytes = 0.0;
+};
+
+/// Interface implemented by every aggregate builder.
+class TrafficSink {
+ public:
+  virtual ~TrafficSink() = default;
+  virtual void consume(const TrafficCell& cell) = 0;
+};
+
+/// Nationwide hourly series per service and direction (Figs. 4-7).
+class NationalSeriesSink final : public TrafficSink {
+ public:
+  explicit NationalSeriesSink(std::size_t service_count);
+  void consume(const TrafficCell& cell) override;
+
+  /// Weekly series of one service in one direction.
+  const std::vector<double>& series(workload::ServiceIndex service,
+                                    workload::Direction d) const;
+  ts::TimeSeries time_series(workload::ServiceIndex service,
+                             workload::Direction d,
+                             const std::string& label = {}) const;
+
+ private:
+  std::size_t services_;
+  /// [service][direction] -> 168 hourly sums.
+  std::vector<std::array<std::vector<double>, workload::kDirectionCount>> data_;
+};
+
+/// Weekly volume totals per service, commune and direction (Figs. 8-10).
+class CommuneTotalsSink final : public TrafficSink {
+ public:
+  CommuneTotalsSink(std::size_t service_count, std::size_t commune_count);
+  void consume(const TrafficCell& cell) override;
+
+  double total(workload::ServiceIndex service, geo::CommuneId commune,
+               workload::Direction d) const;
+
+  /// All commune totals of one service (aligned with commune ids).
+  std::vector<double> commune_vector(workload::ServiceIndex service,
+                                     workload::Direction d) const;
+
+  std::size_t commune_count() const noexcept { return communes_; }
+
+ private:
+  std::size_t services_;
+  std::size_t communes_;
+  /// [direction][service * communes + commune]
+  std::array<std::vector<double>, workload::kDirectionCount> data_;
+};
+
+/// Hourly series per service, urbanization class and direction (Fig. 11).
+class UrbanizationSeriesSink final : public TrafficSink {
+ public:
+  explicit UrbanizationSeriesSink(std::size_t service_count);
+  void consume(const TrafficCell& cell) override;
+
+  const std::vector<double>& series(workload::ServiceIndex service,
+                                    geo::Urbanization u,
+                                    workload::Direction d) const;
+
+ private:
+  std::size_t services_;
+  /// [service][class][direction] -> 168 hourly sums.
+  std::vector<std::array<std::array<std::vector<double>, workload::kDirectionCount>,
+                         geo::kUrbanizationCount>>
+      data_;
+};
+
+/// Grand totals and per-direction volume (consistency checks; Sec. 3's
+/// "uplink < 1/20 of total load").
+class TotalsSink final : public TrafficSink {
+ public:
+  void consume(const TrafficCell& cell) override;
+
+  double downlink() const noexcept { return downlink_; }
+  double uplink() const noexcept { return uplink_; }
+  double total() const noexcept { return downlink_ + uplink_; }
+  std::uint64_t cells_consumed() const noexcept { return cells_; }
+
+ private:
+  double downlink_ = 0.0;
+  double uplink_ = 0.0;
+  std::uint64_t cells_ = 0;
+};
+
+/// Broadcasts each cell to several sinks (non-owning).
+class FanoutSink final : public TrafficSink {
+ public:
+  explicit FanoutSink(std::vector<TrafficSink*> sinks);
+  void consume(const TrafficCell& cell) override;
+
+ private:
+  std::vector<TrafficSink*> sinks_;
+};
+
+}  // namespace appscope::synth

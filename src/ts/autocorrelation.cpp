@@ -1,0 +1,52 @@
+#include "ts/autocorrelation.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace appscope::ts {
+
+std::vector<double> autocorrelation(std::span<const double> series,
+                                    std::size_t max_lag) {
+  APPSCOPE_REQUIRE(series.size() > max_lag,
+                   "autocorrelation: series must be longer than max_lag");
+  const double m = stats::mean(series);
+  double denom = 0.0;
+  for (const double v : series) {
+    const double d = v - m;
+    denom += d * d;
+  }
+  APPSCOPE_REQUIRE(denom > 0.0, "autocorrelation: constant series");
+
+  std::vector<double> out(max_lag + 1, 0.0);
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t + k < series.size(); ++t) {
+      acc += (series[t] - m) * (series[t + k] - m);
+    }
+    out[k] = acc / denom;
+  }
+  return out;
+}
+
+std::size_t dominant_period(std::span<const double> series, std::size_t min_lag,
+                            std::size_t max_lag) {
+  APPSCOPE_REQUIRE(min_lag >= 1 && min_lag <= max_lag,
+                   "dominant_period: invalid lag window");
+  const std::vector<double> acf = autocorrelation(series, max_lag);
+  std::size_t best = min_lag;
+  for (std::size_t k = min_lag; k <= max_lag; ++k) {
+    if (acf[k] > acf[best]) best = k;
+  }
+  return best;
+}
+
+double seasonality_strength(std::span<const double> series, std::size_t period) {
+  APPSCOPE_REQUIRE(period >= 1 && period < series.size(),
+                   "seasonality_strength: invalid period");
+  const std::vector<double> acf = autocorrelation(series, period);
+  return std::max(0.0, acf[period]);
+}
+
+}  // namespace appscope::ts

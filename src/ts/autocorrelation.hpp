@@ -1,0 +1,30 @@
+// appscope/ts/autocorrelation.hpp
+//
+// Autocorrelation and periodicity analysis. The paper's temporal sections
+// rest on the weekly/daily structure of the demand; these utilities verify
+// it quantitatively (the national series must show a dominant 24 h period
+// and a 168 h weekly echo).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace appscope::ts {
+
+/// Sample autocorrelation function r(k) for k = 0..max_lag (r(0) = 1).
+/// Requires series length > max_lag and non-constant input.
+std::vector<double> autocorrelation(std::span<const double> series,
+                                    std::size_t max_lag);
+
+/// The lag in [min_lag, max_lag] with the highest autocorrelation — the
+/// dominant period of the signal.
+/// Requires 1 <= min_lag <= max_lag < series length.
+std::size_t dominant_period(std::span<const double> series, std::size_t min_lag,
+                            std::size_t max_lag);
+
+/// Seasonality strength at a candidate period: max(0, r(period)) — a value
+/// near 1 means the signal repeats almost exactly at that period.
+double seasonality_strength(std::span<const double> series, std::size_t period);
+
+}  // namespace appscope::ts

@@ -1,0 +1,219 @@
+#include "ts/cluster_quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace appscope::ts {
+
+namespace {
+
+std::vector<std::vector<std::size_t>> group_members(
+    const std::vector<std::size_t>& assignments, std::size_t k) {
+  std::vector<std::vector<std::size_t>> groups(k);
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    APPSCOPE_REQUIRE(assignments[i] < k, "cluster_quality: assignment out of range");
+    groups[assignments[i]].push_back(i);
+  }
+  return groups;
+}
+
+std::size_t max_cluster_id(const std::vector<std::size_t>& assignments) {
+  APPSCOPE_REQUIRE(!assignments.empty(), "cluster_quality: empty assignment");
+  return *std::max_element(assignments.begin(), assignments.end()) + 1;
+}
+
+std::size_t count_nonempty(const std::vector<std::vector<std::size_t>>& groups) {
+  std::size_t n = 0;
+  for (const auto& g : groups) {
+    if (!g.empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+double silhouette(const std::vector<std::vector<double>>& data,
+                  const std::vector<std::size_t>& assignments,
+                  const DistanceFn& dist) {
+  APPSCOPE_REQUIRE(data.size() == assignments.size(),
+                   "silhouette: data/assignment size mismatch");
+  const std::size_t k = max_cluster_id(assignments);
+  const auto groups = group_members(assignments, k);
+  APPSCOPE_REQUIRE(count_nonempty(groups) >= 2,
+                   "silhouette: needs >= 2 non-empty clusters");
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::size_t own = assignments[i];
+    if (groups[own].size() <= 1) continue;  // silhouette of singleton := 0
+
+    // a(i): mean distance to own cluster (excluding self).
+    double a = 0.0;
+    for (const std::size_t j : groups[own]) {
+      if (j != i) a += dist(data[i], data[j]);
+    }
+    a /= static_cast<double>(groups[own].size() - 1);
+
+    // b(i): smallest mean distance to another non-empty cluster.
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == own || groups[c].empty()) continue;
+      double m = 0.0;
+      for (const std::size_t j : groups[c]) m += dist(data[i], data[j]);
+      m /= static_cast<double>(groups[c].size());
+      b = std::min(b, m);
+    }
+
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(data.size());
+}
+
+double dunn_index(const std::vector<std::vector<double>>& data,
+                  const std::vector<std::size_t>& assignments,
+                  const DistanceFn& dist) {
+  APPSCOPE_REQUIRE(data.size() == assignments.size(),
+                   "dunn_index: data/assignment size mismatch");
+  const std::size_t k = max_cluster_id(assignments);
+  const auto groups = group_members(assignments, k);
+  APPSCOPE_REQUIRE(count_nonempty(groups) >= 2,
+                   "dunn_index: needs >= 2 non-empty clusters");
+
+  // Max intra-cluster diameter.
+  double max_diameter = 0.0;
+  for (const auto& g : groups) {
+    for (std::size_t a = 0; a < g.size(); ++a) {
+      for (std::size_t b = a + 1; b < g.size(); ++b) {
+        max_diameter = std::max(max_diameter, dist(data[g[a]], data[g[b]]));
+      }
+    }
+  }
+
+  // Min inter-cluster single-linkage distance.
+  double min_separation = std::numeric_limits<double>::infinity();
+  for (std::size_t c1 = 0; c1 < k; ++c1) {
+    if (groups[c1].empty()) continue;
+    for (std::size_t c2 = c1 + 1; c2 < k; ++c2) {
+      if (groups[c2].empty()) continue;
+      for (const std::size_t a : groups[c1]) {
+        for (const std::size_t b : groups[c2]) {
+          min_separation = std::min(min_separation, dist(data[a], data[b]));
+        }
+      }
+    }
+  }
+
+  if (max_diameter <= 0.0) {
+    // All clusters are single points or duplicates: conventionally infinite
+    // separation; report a large sentinel instead of dividing by zero.
+    return std::numeric_limits<double>::infinity();
+  }
+  return min_separation / max_diameter;
+}
+
+namespace {
+
+/// Mean member-to-centroid distance per cluster (empty cluster -> 0).
+std::vector<double> cluster_scatter(const std::vector<std::vector<double>>& data,
+                                    const ClusteringView& clustering,
+                                    const std::vector<std::vector<std::size_t>>& groups,
+                                    const DistanceFn& dist) {
+  std::vector<double> s(groups.size(), 0.0);
+  for (std::size_t c = 0; c < groups.size(); ++c) {
+    if (groups[c].empty()) continue;
+    double acc = 0.0;
+    for (const std::size_t i : groups[c]) {
+      acc += dist(data[i], clustering.centroids[c]);
+    }
+    s[c] = acc / static_cast<double>(groups[c].size());
+  }
+  return s;
+}
+
+void validate_clustering(const std::vector<std::vector<double>>& data,
+                         const ClusteringView& clustering) {
+  APPSCOPE_REQUIRE(data.size() == clustering.assignments.size(),
+                   "davies_bouldin: data/assignment size mismatch");
+  APPSCOPE_REQUIRE(!clustering.centroids.empty(),
+                   "davies_bouldin: clustering has no centroids");
+  for (const std::size_t a : clustering.assignments) {
+    APPSCOPE_REQUIRE(a < clustering.centroids.size(),
+                     "davies_bouldin: assignment exceeds centroid count");
+  }
+}
+
+}  // namespace
+
+double davies_bouldin(const std::vector<std::vector<double>>& data,
+                      const ClusteringView& clustering, const DistanceFn& dist) {
+  validate_clustering(data, clustering);
+  const std::size_t k = clustering.centroids.size();
+  const auto groups = group_members(clustering.assignments, k);
+  APPSCOPE_REQUIRE(count_nonempty(groups) >= 2,
+                   "davies_bouldin: needs >= 2 non-empty clusters");
+  const auto s = cluster_scatter(data, clustering, groups, dist);
+
+  double total = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (groups[i].empty()) continue;
+    double worst = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i || groups[j].empty()) continue;
+      const double sep = dist(clustering.centroids[i], clustering.centroids[j]);
+      if (sep <= 0.0) continue;  // coincident centroids carry no information
+      worst = std::max(worst, (s[i] + s[j]) / sep);
+    }
+    total += worst;
+    ++used;
+  }
+  return total / static_cast<double>(used);
+}
+
+double davies_bouldin_star(const std::vector<std::vector<double>>& data,
+                           const ClusteringView& clustering,
+                           const DistanceFn& dist) {
+  validate_clustering(data, clustering);
+  const std::size_t k = clustering.centroids.size();
+  const auto groups = group_members(clustering.assignments, k);
+  APPSCOPE_REQUIRE(count_nonempty(groups) >= 2,
+                   "davies_bouldin_star: needs >= 2 non-empty clusters");
+  const auto s = cluster_scatter(data, clustering, groups, dist);
+
+  double total = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (groups[i].empty()) continue;
+    double max_sum = 0.0;
+    double min_sep = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i || groups[j].empty()) continue;
+      max_sum = std::max(max_sum, s[i] + s[j]);
+      const double sep = dist(clustering.centroids[i], clustering.centroids[j]);
+      if (sep > 0.0) min_sep = std::min(min_sep, sep);
+    }
+    if (std::isfinite(min_sep)) {
+      total += max_sum / min_sep;
+      ++used;
+    }
+  }
+  APPSCOPE_REQUIRE(used > 0, "davies_bouldin_star: all centroids coincide");
+  return total / static_cast<double>(used);
+}
+
+QualityIndices evaluate_quality(const std::vector<std::vector<double>>& data,
+                                const ClusteringView& clustering,
+                                const DistanceFn& dist) {
+  QualityIndices q;
+  q.davies_bouldin = davies_bouldin(data, clustering, dist);
+  q.davies_bouldin_star = davies_bouldin_star(data, clustering, dist);
+  q.dunn = dunn_index(data, clustering.assignments, dist);
+  q.silhouette = silhouette(data, clustering.assignments, dist);
+  return q;
+}
+
+}  // namespace appscope::ts

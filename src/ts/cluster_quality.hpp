@@ -1,0 +1,64 @@
+// appscope/ts/cluster_quality.hpp
+//
+// Internal clustering-quality indices used in Fig. 5 to rank cluster sets:
+// Davies-Bouldin (DB), modified Davies-Bouldin (DB*, Kim & Ramakrishna 2005)
+// — minimum is best — and Dunn, Silhouette — maximum is best.
+//
+// All indices are parameterized by a distance function so they apply to both
+// SBD (k-Shape) and Euclidean (k-means baseline) geometries.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace appscope::ts {
+
+using DistanceFn =
+    std::function<double(std::span<const double>, std::span<const double>)>;
+
+/// A clustering over `data` for quality evaluation: per-point assignments
+/// plus the centroids the clusterer produced.
+struct ClusteringView {
+  std::vector<std::size_t> assignments;
+  std::vector<std::vector<double>> centroids;
+};
+
+/// Mean silhouette over all points, in [-1, 1] (higher = better separation).
+/// Points in singleton clusters contribute 0 (standard convention).
+/// Requires >= 2 non-empty clusters.
+double silhouette(const std::vector<std::vector<double>>& data,
+                  const std::vector<std::size_t>& assignments,
+                  const DistanceFn& dist);
+
+/// Dunn index: min inter-cluster single-linkage distance divided by max
+/// intra-cluster diameter (higher = better). Requires >= 2 non-empty
+/// clusters and at least one cluster with >= 2 members.
+double dunn_index(const std::vector<std::vector<double>>& data,
+                  const std::vector<std::size_t>& assignments,
+                  const DistanceFn& dist);
+
+/// Davies-Bouldin: mean over clusters of max_j (S_i + S_j) / d(c_i, c_j),
+/// with S_i the mean member-to-centroid distance (lower = better).
+double davies_bouldin(const std::vector<std::vector<double>>& data,
+                      const ClusteringView& clustering, const DistanceFn& dist);
+
+/// Modified Davies-Bouldin DB*: mean over clusters of
+/// [max_j (S_i + S_j)] / [min_j d(c_i, c_j)] (lower = better).
+double davies_bouldin_star(const std::vector<std::vector<double>>& data,
+                           const ClusteringView& clustering,
+                           const DistanceFn& dist);
+
+/// All four indices at once (shares the pairwise-distance work).
+struct QualityIndices {
+  double davies_bouldin = 0.0;
+  double davies_bouldin_star = 0.0;
+  double dunn = 0.0;
+  double silhouette = 0.0;
+};
+
+QualityIndices evaluate_quality(const std::vector<std::vector<double>>& data,
+                                const ClusteringView& clustering,
+                                const DistanceFn& dist);
+
+}  // namespace appscope::ts

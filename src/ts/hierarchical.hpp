@@ -1,0 +1,59 @@
+// appscope/ts/hierarchical.hpp
+//
+// Agglomerative hierarchical clustering over an arbitrary distance
+// function. Complements k-Shape in the Fig. 5 analysis: the paper backs its
+// "no consistent grouping" conclusion with a manual examination of cluster
+// structure; a dendrogram makes that examination programmatic — if a clean
+// grouping existed, cutting the tree would reveal a large merge-distance
+// gap, and it does not.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ts/cluster_quality.hpp"
+
+namespace appscope::ts {
+
+enum class Linkage : std::uint8_t {
+  kSingle = 0,    // min pairwise distance between clusters
+  kComplete = 1,  // max pairwise distance
+  kAverage = 2,   // mean pairwise distance (UPGMA)
+};
+
+/// One agglomeration step: clusters `left` and `right` merged at `distance`
+/// into a new cluster with id `parent`.
+struct MergeStep {
+  std::size_t left = 0;
+  std::size_t right = 0;
+  std::size_t parent = 0;
+  double distance = 0.0;
+};
+
+struct Dendrogram {
+  /// n-1 merges, ordered by increasing step; leaf ids are [0, n), internal
+  /// node ids continue from n.
+  std::vector<MergeStep> merges;
+  std::size_t leaf_count = 0;
+
+  /// Flat clustering obtained by stopping after the merges with distance
+  /// <= `cut`; returns leaf assignments with dense cluster ids.
+  std::vector<std::size_t> cut_at(double cut) const;
+
+  /// Flat clustering with exactly k clusters (k in [1, leaf_count]).
+  std::vector<std::size_t> cut_to_k(std::size_t k) const;
+
+  /// Largest gap between consecutive merge distances; a clean cluster
+  /// structure shows a dominant gap, an unstructured set does not.
+  /// Returns (gap, merge index after which the gap occurs).
+  std::pair<double, std::size_t> largest_merge_gap() const;
+};
+
+/// Builds the dendrogram for `items` under `dist`. O(n^3) with the naive
+/// Lance-Williams update — fine for the 20-series use case and beyond
+/// (hundreds of items).
+Dendrogram hierarchical_cluster(const std::vector<std::vector<double>>& items,
+                                const DistanceFn& dist,
+                                Linkage linkage = Linkage::kAverage);
+
+}  // namespace appscope::ts

@@ -1,0 +1,128 @@
+#include "ts/kmeans.hpp"
+
+#include <limits>
+
+#include "la/vector_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appscope::ts {
+
+namespace {
+
+std::vector<std::vector<double>> kmeanspp_seed(
+    const std::vector<std::vector<double>>& points, std::size_t k,
+    util::Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.uniform_index(points.size())]);
+  std::vector<double> d2(points.size(), 0.0);
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids) {
+        best = std::min(best, la::squared_distance(points[i], c));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with chosen centroids; duplicate one.
+      centroids.push_back(points[rng.uniform_index(points.size())]);
+      continue;
+    }
+    double pick = rng.uniform() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      pick -= d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+KMeansResult kmeans_single(const std::vector<std::vector<double>>& points,
+                           const KMeansOptions& opts, util::Rng& rng) {
+  const std::size_t dim = points.front().size();
+  KMeansResult result;
+  result.centroids = kmeanspp_seed(points, opts.k, rng);
+  result.assignments.assign(points.size(), 0);
+
+  std::vector<std::size_t> prev;
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    prev = result.assignments;
+
+    // Assignment.
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < opts.k; ++c) {
+        const double d = la::squared_distance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignments[i] = best_c;
+      result.inertia += best;
+    }
+
+    // Update.
+    std::vector<std::vector<double>> sums(opts.k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(opts.k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t c = result.assignments[i];
+      la::axpy(1.0, points[i], sums[c]);
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < opts.k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centroids[c] = points[rng.uniform_index(points.size())];
+        continue;
+      }
+      la::scale(sums[c], 1.0 / static_cast<double>(counts[c]));
+      result.centroids[c] = std::move(sums[c]);
+    }
+
+    if (result.assignments == prev && iter > 0) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    const KMeansOptions& opts) {
+  APPSCOPE_REQUIRE(!points.empty(), "kmeans: no points");
+  APPSCOPE_REQUIRE(opts.k >= 1 && opts.k <= points.size(),
+                   "kmeans: k must be in [1, #points]");
+  APPSCOPE_REQUIRE(opts.restarts >= 1, "kmeans: needs >= 1 restart");
+  const std::size_t dim = points.front().size();
+  APPSCOPE_REQUIRE(dim > 0, "kmeans: zero-dimensional points");
+  for (const auto& p : points) {
+    APPSCOPE_REQUIRE(p.size() == dim, "kmeans: ragged points");
+  }
+
+  util::Rng rng(opts.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < opts.restarts; ++r) {
+    util::Rng run_rng = rng.fork(r);
+    KMeansResult candidate = kmeans_single(points, opts, run_rng);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace appscope::ts

@@ -1,0 +1,35 @@
+// appscope/ts/kmeans.hpp
+//
+// Euclidean k-means with k-means++ seeding. Serves as the baseline
+// clustering algorithm against k-Shape in the Fig. 5 ablation: the paper's
+// "no good k exists" conclusion should hold regardless of the clusterer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace appscope::ts {
+
+struct KMeansOptions {
+  std::size_t k = 2;
+  std::size_t max_iterations = 200;
+  std::uint64_t seed = 7;
+  /// Number of k-means++ restarts; the best-inertia run is kept.
+  std::size_t restarts = 4;
+};
+
+struct KMeansResult {
+  std::vector<std::size_t> assignments;
+  std::vector<std::vector<double>> centroids;
+  /// Sum of squared Euclidean distances to assigned centroids.
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Clusters equal-length vectors into opts.k groups.
+/// Requires 1 <= k <= points.size().
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    const KMeansOptions& opts);
+
+}  // namespace appscope::ts

@@ -1,0 +1,183 @@
+#include "ts/kshape.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "la/eigen.hpp"
+#include "la/matrix.hpp"
+#include "la/vector_ops.hpp"
+#include "ts/sbd.hpp"
+#include "ts/znorm.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appscope::ts {
+
+std::vector<std::size_t> KShapeResult::members(std::size_t c) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    if (assignments[i] == c) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<double> shape_extract(const std::vector<std::vector<double>>& members,
+                                  const std::vector<double>& reference) {
+  APPSCOPE_REQUIRE(!members.empty(), "shape_extract: no members");
+  const std::size_t n = members.front().size();
+  APPSCOPE_REQUIRE(n >= 2, "shape_extract: series too short");
+  for (const auto& m : members) {
+    APPSCOPE_REQUIRE(m.size() == n, "shape_extract: ragged members");
+  }
+
+  const bool have_reference =
+      reference.size() == n && la::norm2(reference) > 0.0;
+
+  // Align members to the reference (old centroid), then z-normalize each —
+  // shape extraction assumes zero-mean unit-variance rows.
+  la::Matrix s(n, n);
+  for (const auto& member : members) {
+    std::vector<double> aligned =
+        have_reference ? align_to(reference, member)
+                       : std::vector<double>(member.begin(), member.end());
+    znormalize_inplace(aligned);
+    // S += aligned alignedᵀ (accumulate symmetric rank-1 update).
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ai = aligned[i];
+      if (ai == 0.0) continue;
+      double* row = &s(i, 0);
+      for (std::size_t j = 0; j < n; ++j) row[j] += ai * aligned[j];
+    }
+  }
+
+  // M = Q S Q with Q = I - (1/n) 1·1ᵀ. Computed explicitly (n ≈ 168).
+  la::Matrix q(n, n, -1.0 / static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) q(i, i) += 1.0;
+  const la::Matrix m = q * s * q;
+
+  la::PowerIterationOptions pio;
+  pio.seed = 1234;
+  const la::EigenPair top = la::power_iteration(m, pio);
+
+  std::vector<double> centroid = top.vector;
+  // Eigenvectors have arbitrary sign: pick the orientation closer to the
+  // cluster members (compare squared distance to the first member).
+  const auto& probe = members.front();
+  double dist_pos = 0.0;
+  double dist_neg = 0.0;
+  const std::vector<double> zprobe = znormalize(std::span<const double>(probe));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dp = zprobe[i] - centroid[i];
+    const double dn = zprobe[i] + centroid[i];
+    dist_pos += dp * dp;
+    dist_neg += dn * dn;
+  }
+  if (dist_neg < dist_pos) {
+    for (double& v : centroid) v = -v;
+  }
+  znormalize_inplace(centroid);
+  return centroid;
+}
+
+KShapeResult kshape(const std::vector<std::vector<double>>& series,
+                    const KShapeOptions& opts) {
+  APPSCOPE_REQUIRE(!series.empty(), "kshape: no series");
+  APPSCOPE_REQUIRE(opts.k >= 1 && opts.k <= series.size(),
+                   "kshape: k must be in [1, #series]");
+  const std::size_t n = series.front().size();
+  APPSCOPE_REQUIRE(n >= 2, "kshape: series must have >= 2 samples");
+  for (const auto& s : series) {
+    APPSCOPE_REQUIRE(s.size() == n, "kshape: all series must have equal length");
+  }
+
+  // Working copies, optionally z-normalized.
+  std::vector<std::vector<double>> data;
+  data.reserve(series.size());
+  for (const auto& s : series) {
+    data.push_back(opts.z_normalize_input
+                       ? znormalize(std::span<const double>(s))
+                       : s);
+  }
+
+  util::Rng rng(opts.seed);
+  KShapeResult result;
+  result.assignments.resize(data.size());
+  for (auto& a : result.assignments) {
+    a = static_cast<std::size_t>(rng.uniform_index(opts.k));
+  }
+  // Guarantee every cluster starts non-empty (place one distinct series in
+  // each cluster deterministically).
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t c = 0; c < opts.k; ++c) result.assignments[order[c]] = c;
+
+  result.centroids.assign(opts.k, std::vector<double>(n, 0.0));
+
+  std::vector<std::size_t> prev_assignments;
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Refinement: extract a shape per non-empty cluster.
+    for (std::size_t c = 0; c < opts.k; ++c) {
+      std::vector<std::vector<double>> members;
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        if (result.assignments[i] == c) members.push_back(data[i]);
+      }
+      if (members.empty()) continue;  // re-seeded below after assignment
+      result.centroids[c] = shape_extract(members, result.centroids[c]);
+    }
+
+    // Assignment: nearest centroid by SBD.
+    prev_assignments = result.assignments;
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = result.assignments[i];
+      for (std::size_t c = 0; c < opts.k; ++c) {
+        if (la::norm2(result.centroids[c]) == 0.0) continue;
+        const double d = sbd_distance(result.centroids[c], data[i]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignments[i] = best_c;
+      result.inertia += best;
+    }
+
+    // Re-seed empty clusters with the series farthest from its centroid.
+    for (std::size_t c = 0; c < opts.k; ++c) {
+      bool empty = true;
+      for (const std::size_t a : result.assignments) {
+        if (a == c) {
+          empty = false;
+          break;
+        }
+      }
+      if (!empty) continue;
+      double worst = -1.0;
+      std::size_t worst_i = 0;
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto owner = result.assignments[i];
+        if (la::norm2(result.centroids[owner]) == 0.0) continue;
+        const double d = sbd_distance(result.centroids[owner], data[i]);
+        if (d > worst) {
+          worst = d;
+          worst_i = i;
+        }
+      }
+      result.assignments[worst_i] = c;
+      result.centroids[c] = data[worst_i];
+    }
+
+    if (result.assignments == prev_assignments) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace appscope::ts

@@ -1,0 +1,56 @@
+// appscope/ts/kshape.hpp
+//
+// k-Shape time-series clustering (Paparrizos & Gravano, SIGMOD 2015), the
+// algorithm the paper uses to attempt grouping the 20 services by the shape
+// of their weekly traffic series (Fig. 5).
+//
+// k-Shape alternates:
+//   assignment  — each series joins the centroid with the smallest SBD;
+//   refinement  — each centroid becomes the "shape extract" of its members:
+//                 members are cross-correlation-aligned to the old centroid,
+//                 and the new centroid is the dominant eigenvector of
+//                 M = Q S Q, with S = Σ aligned xᵢ xᵢᵀ and Q = I - (1/n)·1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace appscope::ts {
+
+struct KShapeOptions {
+  std::size_t k = 2;
+  std::size_t max_iterations = 100;
+  /// Seed for the deterministic random initial assignment.
+  std::uint64_t seed = 7;
+  /// z-normalize every series before clustering (the canonical setting).
+  bool z_normalize_input = true;
+};
+
+struct KShapeResult {
+  /// assignments[i] in [0, k) is the cluster of series i.
+  std::vector<std::size_t> assignments;
+  /// k centroids, each z-normalized, same length as the input series.
+  std::vector<std::vector<double>> centroids;
+  /// Sum over series of SBD(series, its centroid).
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  std::size_t cluster_count() const noexcept { return centroids.size(); }
+  /// Indices of the members of cluster `c`.
+  std::vector<std::size_t> members(std::size_t c) const;
+};
+
+/// Clusters `series` (all equal length >= 2) into opts.k groups.
+/// Requires 1 <= k <= series.size().
+KShapeResult kshape(const std::vector<std::vector<double>>& series,
+                    const KShapeOptions& opts);
+
+/// Shape extraction for a single cluster: returns the z-normalized dominant
+/// eigenvector of QSQ built from `members` aligned to `reference`.
+/// If `reference` is empty or all-zero, members are used unaligned.
+/// Exposed for tests and for incremental/streaming re-clustering.
+std::vector<double> shape_extract(const std::vector<std::vector<double>>& members,
+                                  const std::vector<double>& reference);
+
+}  // namespace appscope::ts

@@ -1,0 +1,201 @@
+#include "ts/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appscope::ts {
+
+PeakDetection detect_peaks(std::span<const double> series,
+                           const ZScorePeakOptions& opts) {
+  APPSCOPE_REQUIRE(opts.lag >= 1, "detect_peaks: lag must be >= 1");
+  APPSCOPE_REQUIRE(series.size() > opts.lag,
+                   "detect_peaks: series must be longer than lag");
+  APPSCOPE_REQUIRE(opts.threshold > 0.0, "detect_peaks: threshold must be > 0");
+  APPSCOPE_REQUIRE(opts.influence >= 0.0 && opts.influence <= 1.0,
+                   "detect_peaks: influence must be in [0,1]");
+  APPSCOPE_REQUIRE(opts.min_relative_deviation >= 0.0,
+                   "detect_peaks: min_relative_deviation must be >= 0");
+
+  const std::size_t n = series.size();
+  PeakDetection out;
+  out.signal.assign(n, 0);
+  out.smoothed.assign(n, 0.0);
+  out.band.assign(n, 0.0);
+
+  // Optional detrending: divide by a centered moving-MEDIAN baseline so the
+  // z-score pass sees surges relative to the local trend. The median (not
+  // the mean) keeps the baseline honest around the surges themselves: a
+  // 1-2 hour spike inside the window would inflate a mean baseline and both
+  // flatten its own ratio and carve spurious dips around it.
+  out.processed.assign(series.begin(), series.end());
+  if (opts.detrend_half_window > 0) {
+    const std::size_t hw = opts.detrend_half_window;
+    std::vector<double> window;
+    window.reserve(2 * hw + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      window.clear();
+      // Donut window: the sample under test and its direct neighbours do
+      // not vote on their own baseline, so a 1-3 hour surge sticks out
+      // fully instead of lifting the trend it is compared against.
+      for (std::ptrdiff_t off = -static_cast<std::ptrdiff_t>(hw);
+           off <= static_cast<std::ptrdiff_t>(hw); ++off) {
+        if (off >= -1 && off <= 1) continue;
+        const std::ptrdiff_t raw = static_cast<std::ptrdiff_t>(i) + off;
+        if (opts.detrend_wrap) {
+          const std::ptrdiff_t m =
+              ((raw % static_cast<std::ptrdiff_t>(n)) +
+               static_cast<std::ptrdiff_t>(n)) %
+              static_cast<std::ptrdiff_t>(n);
+          window.push_back(series[static_cast<std::size_t>(m)]);
+        } else if (raw >= 0 && raw < static_cast<std::ptrdiff_t>(n)) {
+          window.push_back(series[static_cast<std::size_t>(raw)]);
+        }
+      }
+      if (window.empty()) window.push_back(series[i]);
+      const auto mid = window.begin() + static_cast<std::ptrdiff_t>(window.size() / 2);
+      std::nth_element(window.begin(), mid, window.end());
+      double baseline = *mid;
+      if (window.size() % 2 == 0) {
+        const double upper = baseline;
+        const auto below =
+            window.begin() + static_cast<std::ptrdiff_t>(window.size() / 2 - 1);
+        std::nth_element(window.begin(), below, window.end());
+        baseline = (upper + *below) / 2.0;
+      }
+      APPSCOPE_REQUIRE(baseline > 0.0,
+                       "detect_peaks: detrending requires a positive series");
+      out.processed[i] = series[i] / baseline;
+    }
+  }
+  const std::vector<double>& work = out.processed;
+
+  std::vector<double> filtered(work.begin(), work.end());
+
+  auto window_mean_std = [&filtered, &opts](std::size_t i) {
+    // Mean/stddev of filtered[i-lag .. i-1].
+    double m = 0.0;
+    for (std::size_t j = i - opts.lag; j < i; ++j) m += filtered[j];
+    m /= static_cast<double>(opts.lag);
+    double v = 0.0;
+    for (std::size_t j = i - opts.lag; j < i; ++j) {
+      const double d = filtered[j] - m;
+      v += d * d;
+    }
+    v /= static_cast<double>(opts.lag);
+    return std::pair<double, double>(m, std::sqrt(v));
+  };
+
+  for (std::size_t i = opts.lag; i < n; ++i) {
+    const auto [m, sd] = window_mean_std(i);
+    out.smoothed[i] = m;
+    out.band[i] = opts.threshold * sd;
+    const double deviation = std::abs(work[i] - m);
+    const double deviation_floor = opts.min_relative_deviation * std::abs(m);
+    if (deviation > opts.threshold * sd && deviation > deviation_floor &&
+        deviation > 0.0) {
+      out.signal[i] = work[i] > m ? 1 : -1;
+      filtered[i] =
+          opts.influence * work[i] + (1.0 - opts.influence) * filtered[i - 1];
+    } else {
+      out.signal[i] = 0;
+      filtered[i] = work[i];
+    }
+  }
+  // Warm-up samples mirror the first computed smoothed value for plotting.
+  for (std::size_t i = 0; i < opts.lag && opts.lag < n; ++i) {
+    out.smoothed[i] = out.smoothed[opts.lag];
+    out.band[i] = out.band[opts.lag];
+  }
+
+  // Extract +1 runs and their rising fronts.
+  std::size_t i = 0;
+  while (i < n) {
+    if (out.signal[i] == 1) {
+      const std::size_t begin = i;
+      while (i < n && out.signal[i] == 1) ++i;
+      out.intervals.push_back(PeakInterval{begin, i});
+      out.rising_fronts.push_back(begin);
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+double interval_intensity(std::span<const double> series, PeakInterval interval) {
+  APPSCOPE_REQUIRE(interval.begin < interval.end && interval.end <= series.size(),
+                   "interval_intensity: invalid interval");
+  double lo = series[interval.begin];
+  double hi = series[interval.begin];
+  // Include one sample of context on each side so the rise itself (from the
+  // pre-peak trough) is measured, matching the paper's peak-interval reading.
+  const std::size_t begin = interval.begin > 0 ? interval.begin - 1 : 0;
+  const std::size_t end = std::min(series.size(), interval.end + 1);
+  for (std::size_t i = begin; i < end; ++i) {
+    lo = std::min(lo, series[i]);
+    hi = std::max(hi, series[i]);
+  }
+  APPSCOPE_REQUIRE(lo > 0.0, "interval_intensity: non-positive minimum");
+  return hi / lo - 1.0;
+}
+
+std::size_t interval_apex(const PeakDetection& detection, PeakInterval interval) {
+  APPSCOPE_REQUIRE(interval.begin < interval.end &&
+                       interval.end <= detection.processed.size(),
+                   "interval_apex: invalid interval");
+  std::size_t apex = interval.begin;
+  for (std::size_t i = interval.begin + 1; i < interval.end; ++i) {
+    if (detection.processed[i] > detection.processed[apex]) apex = i;
+  }
+  // A peak's apex can sit one sample past the signalled run when the
+  // influence damping cuts the run short of the crest.
+  if (interval.end < detection.processed.size() &&
+      detection.processed[interval.end] > detection.processed[apex]) {
+    apex = interval.end;
+  }
+  return apex;
+}
+
+std::vector<TopicalTime> peak_topical_times(const PeakDetection& detection,
+                                            std::size_t tolerance_hours) {
+  std::array<bool, kTopicalTimeCount> seen{};
+  for (const PeakInterval& interval : detection.intervals) {
+    const std::size_t apex = interval_apex(detection, interval);
+    if (apex >= kHoursPerWeek) continue;  // only weekly series classify
+    const auto t = classify_topical(week_hour(apex), tolerance_hours);
+    if (t) seen[static_cast<std::size_t>(*t)] = true;
+  }
+  std::vector<TopicalTime> out;
+  for (const TopicalTime t : all_topical_times()) {
+    if (seen[static_cast<std::size_t>(t)]) out.push_back(t);
+  }
+  return out;
+}
+
+std::array<std::optional<double>, kTopicalTimeCount> topical_peak_intensities(
+    std::span<const double> series, const PeakDetection& detection,
+    std::size_t tolerance_hours) {
+  APPSCOPE_REQUIRE(series.size() == detection.processed.size(),
+                   "topical_peak_intensities: series/detection mismatch");
+  std::array<std::optional<double>, kTopicalTimeCount> out{};
+  for (const PeakInterval& interval : detection.intervals) {
+    const std::size_t apex = interval_apex(detection, interval);
+    if (apex >= kHoursPerWeek) continue;
+    const auto t = classify_topical(week_hour(apex), tolerance_hours);
+    if (!t) continue;
+    // Intensity is the surge's height over the detector's own rolling
+    // baseline at the apex — the trend-relative "how far above normal did
+    // it spike" the Fig. 7 percentages express. (The raw max/min over the
+    // interval misreads the diurnal trend inside the interval as surge.)
+    const double baseline = detection.smoothed[apex];
+    if (baseline <= 0.0) continue;
+    const double intensity = detection.processed[apex] / baseline - 1.0;
+    auto& slot = out[static_cast<std::size_t>(*t)];
+    slot = slot ? std::max(*slot, intensity) : intensity;
+  }
+  return out;
+}
+
+}  // namespace appscope::ts

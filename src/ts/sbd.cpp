@@ -1,0 +1,62 @@
+#include "ts/sbd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/fft.hpp"
+#include "la/vector_ops.hpp"
+#include "util/error.hpp"
+
+namespace appscope::ts {
+
+std::vector<double> ncc_c(std::span<const double> x, std::span<const double> y) {
+  APPSCOPE_REQUIRE(!x.empty() && x.size() == y.size(),
+                   "ncc_c: equal non-zero lengths required");
+  const double nx = la::norm2(x);
+  const double ny = la::norm2(y);
+  const std::size_t out_len = 2 * x.size() - 1;
+  if (nx == 0.0 || ny == 0.0) return std::vector<double>(out_len, 0.0);
+
+  // cross_correlation(a, b)[k] = sum_j a[j + k - (m-1)] * b[j]; with a = x,
+  // b = y, index k corresponds to shifting y right by s = k - (m-1).
+  std::vector<double> cc = la::cross_correlation(
+      std::vector<double>(x.begin(), x.end()),
+      std::vector<double>(y.begin(), y.end()));
+  const double denom = nx * ny;
+  for (double& v : cc) v /= denom;
+  return cc;
+}
+
+SbdResult sbd(std::span<const double> x, std::span<const double> y) {
+  const std::vector<double> ncc = ncc_c(x, y);
+  const std::size_t m = x.size();
+  SbdResult result;
+  const std::size_t best = la::argmax(ncc);
+  result.ncc = std::clamp(ncc[best], -1.0, 1.0);
+  result.distance = 1.0 - result.ncc;
+  result.shift = static_cast<std::ptrdiff_t>(best) -
+                 static_cast<std::ptrdiff_t>(m - 1);
+  return result;
+}
+
+double sbd_distance(std::span<const double> x, std::span<const double> y) {
+  return sbd(x, y).distance;
+}
+
+std::vector<double> shift_series(std::span<const double> y, std::ptrdiff_t shift) {
+  const auto m = static_cast<std::ptrdiff_t>(y.size());
+  APPSCOPE_REQUIRE(shift > -m && shift < m, "shift_series: |shift| must be < length");
+  std::vector<double> out(y.size(), 0.0);
+  for (std::ptrdiff_t i = 0; i < m; ++i) {
+    const std::ptrdiff_t j = i - shift;  // out[i] = y[i - shift]
+    if (j >= 0 && j < m) out[static_cast<std::size_t>(i)] = y[static_cast<std::size_t>(j)];
+  }
+  return out;
+}
+
+std::vector<double> align_to(std::span<const double> x, std::span<const double> y) {
+  const SbdResult r = sbd(x, y);
+  return shift_series(y, r.shift);
+}
+
+}  // namespace appscope::ts

@@ -1,0 +1,131 @@
+#include "ts/time_series.hpp"
+
+#include <algorithm>
+
+#include "la/vector_ops.hpp"
+#include "util/error.hpp"
+
+namespace appscope::ts {
+
+TimeSeries::TimeSeries(std::vector<double> values, std::string label)
+    : values_(std::move(values)), label_(std::move(label)) {}
+
+TimeSeries TimeSeries::zeros(std::size_t size, std::string label) {
+  return TimeSeries(std::vector<double>(size, 0.0), std::move(label));
+}
+
+double TimeSeries::at(std::size_t i) const {
+  APPSCOPE_REQUIRE(i < values_.size(), "TimeSeries::at: index out of range");
+  return values_[i];
+}
+
+double TimeSeries::sum() const noexcept { return la::sum(values_); }
+
+double TimeSeries::mean() const { return la::mean(values_); }
+
+double TimeSeries::max() const { return la::max_element(values_); }
+
+double TimeSeries::min() const { return la::min_element(values_); }
+
+TimeSeries& TimeSeries::operator+=(const TimeSeries& other) {
+  APPSCOPE_REQUIRE(size() == other.size(), "TimeSeries+=: size mismatch");
+  for (std::size_t i = 0; i < size(); ++i) values_[i] += other.values_[i];
+  return *this;
+}
+
+TimeSeries& TimeSeries::operator-=(const TimeSeries& other) {
+  APPSCOPE_REQUIRE(size() == other.size(), "TimeSeries-=: size mismatch");
+  for (std::size_t i = 0; i < size(); ++i) values_[i] -= other.values_[i];
+  return *this;
+}
+
+TimeSeries& TimeSeries::operator*=(double alpha) noexcept {
+  for (double& v : values_) v *= alpha;
+  return *this;
+}
+
+TimeSeries TimeSeries::operator+(const TimeSeries& other) const {
+  TimeSeries out = *this;
+  out += other;
+  return out;
+}
+
+TimeSeries TimeSeries::operator-(const TimeSeries& other) const {
+  TimeSeries out = *this;
+  out -= other;
+  return out;
+}
+
+TimeSeries TimeSeries::operator*(double alpha) const {
+  TimeSeries out = *this;
+  out *= alpha;
+  return out;
+}
+
+TimeSeries TimeSeries::normalized_to_unit_sum() const {
+  const double total = sum();
+  APPSCOPE_REQUIRE(total > 0.0, "normalized_to_unit_sum: non-positive sum");
+  TimeSeries out = *this;
+  out *= 1.0 / total;
+  return out;
+}
+
+TimeSeries TimeSeries::moving_average(std::size_t half_window) const {
+  if (empty() || half_window == 0) return *this;
+  TimeSeries out = zeros(size(), label_);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const std::size_t lo = i >= half_window ? i - half_window : 0;
+    const std::size_t hi = std::min(size() - 1, i + half_window);
+    double acc = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) acc += values_[j];
+    out[i] = acc / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::downsample(std::size_t factor) const {
+  APPSCOPE_REQUIRE(factor > 0, "downsample: factor must be positive");
+  APPSCOPE_REQUIRE(size() % factor == 0, "downsample: factor must divide size");
+  TimeSeries out = zeros(size() / factor, label_);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < factor; ++j) acc += values_[i * factor + j];
+    out[i] = acc / static_cast<double>(factor);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::slice(std::size_t begin, std::size_t count) const {
+  APPSCOPE_REQUIRE(begin + count <= size(), "slice: range out of bounds");
+  return TimeSeries(
+      std::vector<double>(values_.begin() + static_cast<std::ptrdiff_t>(begin),
+                          values_.begin() + static_cast<std::ptrdiff_t>(begin + count)),
+      label_);
+}
+
+double TimeSeries::day_total(Day day) const {
+  APPSCOPE_REQUIRE(size() == kHoursPerWeek,
+                   "day_total: requires a 168-sample weekly series");
+  const std::size_t base = static_cast<std::size_t>(day) * kHoursPerDay;
+  double acc = 0.0;
+  for (std::size_t h = 0; h < kHoursPerDay; ++h) acc += values_[base + h];
+  return acc;
+}
+
+std::vector<double> TimeSeries::mean_daily_profile(bool weekend) const {
+  APPSCOPE_REQUIRE(size() == kHoursPerWeek,
+                   "mean_daily_profile: requires a 168-sample weekly series");
+  const std::size_t day_lo = weekend ? 0 : 2;
+  const std::size_t day_hi = weekend ? 2 : kDaysPerWeek;
+  std::vector<double> profile(kHoursPerDay, 0.0);
+  for (std::size_t d = day_lo; d < day_hi; ++d) {
+    for (std::size_t h = 0; h < kHoursPerDay; ++h) {
+      profile[h] += values_[d * kHoursPerDay + h];
+    }
+  }
+  const double days = static_cast<double>(day_hi - day_lo);
+  for (double& v : profile) v /= days;
+  return profile;
+}
+
+}  // namespace appscope::ts

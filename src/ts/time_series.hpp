@@ -1,0 +1,83 @@
+// appscope/ts/time_series.hpp
+//
+// A uniformly-sampled time series (hourly in this library) with arithmetic,
+// resampling, smoothing, and weekly-calendar helpers.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ts/calendar.hpp"
+
+namespace appscope::ts {
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Takes ownership of hourly samples; `label` names the series in reports.
+  explicit TimeSeries(std::vector<double> values, std::string label = {});
+
+  /// Zero-filled series of `size` samples.
+  static TimeSeries zeros(std::size_t size, std::string label = {});
+
+  std::size_t size() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+  const std::string& label() const noexcept { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  double operator[](std::size_t i) const noexcept { return values_[i]; }
+  double& operator[](std::size_t i) noexcept { return values_[i]; }
+  double at(std::size_t i) const;
+
+  std::span<const double> values() const noexcept { return values_; }
+  std::vector<double>& mutable_values() noexcept { return values_; }
+
+  double sum() const noexcept;
+  double mean() const;
+  double max() const;
+  double min() const;
+
+  /// Element-wise arithmetic; shape must match.
+  TimeSeries& operator+=(const TimeSeries& other);
+  TimeSeries& operator-=(const TimeSeries& other);
+  TimeSeries& operator*=(double alpha) noexcept;
+  TimeSeries operator+(const TimeSeries& other) const;
+  TimeSeries operator-(const TimeSeries& other) const;
+  TimeSeries operator*(double alpha) const;
+
+  /// Scales so the series sums to 1; requires a positive sum.
+  TimeSeries normalized_to_unit_sum() const;
+
+  /// Centered moving average with window = 2*half_window + 1 (edges use the
+  /// available window).
+  TimeSeries moving_average(std::size_t half_window) const;
+
+  /// Downsamples by integer factor (mean of each bucket); size must divide.
+  TimeSeries downsample(std::size_t factor) const;
+
+  /// Sub-range copy [begin, begin+count).
+  TimeSeries slice(std::size_t begin, std::size_t count) const;
+
+  /// For 168-sample weekly series: sum over the hours of one day.
+  double day_total(Day day) const;
+
+  /// For 168-sample weekly series: mean profile over days -> 24 samples.
+  /// `weekend` selects Sat/Sun vs Mon-Fri days.
+  std::vector<double> mean_daily_profile(bool weekend) const;
+
+ private:
+  std::vector<double> values_;
+  std::string label_;
+};
+
+/// Builds a weekly (168 h) series from any callable hour -> value.
+template <typename F>
+TimeSeries make_weekly(F&& f, std::string label = {}) {
+  std::vector<double> v(kHoursPerWeek);
+  for (std::size_t h = 0; h < kHoursPerWeek; ++h) v[h] = f(h);
+  return TimeSeries(std::move(v), std::move(label));
+}
+
+}  // namespace appscope::ts

@@ -1,0 +1,45 @@
+#include "ts/znorm.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace appscope::ts {
+
+void znormalize_inplace(std::span<double> x) noexcept {
+  if (x.empty()) return;
+  stats::RunningStats rs;
+  for (const double v : x) rs.add(v);
+  const double m = rs.sum() / static_cast<double>(x.size());
+  const double sd = rs.stddev_population();
+  if (sd <= 0.0) {
+    for (double& v : x) v = 0.0;
+    return;
+  }
+  for (double& v : x) v = (v - m) / sd;
+}
+
+std::vector<double> znormalize(std::span<const double> x) {
+  std::vector<double> out(x.begin(), x.end());
+  znormalize_inplace(out);
+  return out;
+}
+
+TimeSeries znormalize(const TimeSeries& x) {
+  std::vector<double> v(x.values().begin(), x.values().end());
+  znormalize_inplace(v);
+  return TimeSeries(std::move(v), x.label());
+}
+
+bool is_znormalized(std::span<const double> x, double tol) noexcept {
+  if (x.empty()) return true;
+  stats::RunningStats rs;
+  for (const double v : x) rs.add(v);
+  const double m = rs.sum() / static_cast<double>(x.size());
+  const double sd = rs.stddev_population();
+  const bool all_zero = rs.min() == 0.0 && rs.max() == 0.0;
+  return all_zero || (std::abs(m) <= tol && std::abs(sd - 1.0) <= tol);
+}
+
+}  // namespace appscope::ts

@@ -1,0 +1,28 @@
+// appscope/ts/znorm.hpp
+//
+// Z-normalization (zero mean, unit variance), the canonical preprocessing
+// for shape-based time-series comparison (k-Shape operates on z-normalized
+// series).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ts/time_series.hpp"
+
+namespace appscope::ts {
+
+/// Returns (x - mean) / stddev. A constant series maps to all zeros
+/// (its shape carries no information).
+std::vector<double> znormalize(std::span<const double> x);
+
+/// In-place variant.
+void znormalize_inplace(std::span<double> x) noexcept;
+
+/// TimeSeries convenience overload (label preserved).
+TimeSeries znormalize(const TimeSeries& x);
+
+/// True if |mean| <= tol and |stddev - 1| <= tol (or the series is all-zero).
+bool is_znormalized(std::span<const double> x, double tol = 1e-9) noexcept;
+
+}  // namespace appscope::ts

@@ -1,0 +1,49 @@
+// appscope/util/cli.hpp
+//
+// Minimal command-line option parser shared by the bench and example
+// binaries: supports "--flag", "--key=value" and positional arguments, with
+// typed accessors and an auto-generated usage string.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace appscope::util {
+
+class CliArgs {
+ public:
+  /// Parses argv; never throws (malformed tokens become positionals).
+  CliArgs(int argc, char** argv);
+
+  const std::string& program() const noexcept { return program_; }
+
+  /// True if "--name" or "--name=..." was given.
+  bool has(std::string_view name) const noexcept;
+
+  /// Value of "--name=value", if present.
+  std::optional<std::string> value(std::string_view name) const noexcept;
+
+  /// Typed accessors with defaults; throw InputError on malformed values.
+  std::string get_string(std::string_view name, std::string default_value) const;
+  std::int64_t get_int(std::string_view name, std::int64_t default_value) const;
+  double get_double(std::string_view name, double default_value) const;
+
+  const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+ private:
+  struct Option {
+    std::string name;
+    std::optional<std::string> value;
+  };
+
+  std::string program_;
+  std::vector<Option> options_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace appscope::util

@@ -1,0 +1,48 @@
+// appscope/util/csv.hpp
+//
+// Minimal RFC-4180-ish CSV reading/writing used by benches and examples to
+// export figure data for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace appscope::util {
+
+/// Streaming CSV writer. Quotes fields containing separators/quotes/newlines.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out, char sep = ',');
+
+  /// Writes one row; each field is escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a row of doubles formatted with `digits` decimals.
+  void write_numeric_row(const std::vector<double>& values, int digits = 6);
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::string escape(std::string_view field) const;
+
+  std::ostream& out_;
+  char sep_;
+  std::size_t rows_ = 0;
+};
+
+/// In-memory CSV document (small files: configs, expectations).
+class CsvReader {
+ public:
+  /// Parses the full document; throws InputError on unbalanced quotes.
+  static std::vector<std::vector<std::string>> parse(std::string_view text,
+                                                     char sep = ',');
+
+  /// Reads and parses a file; throws InputError if unreadable.
+  static std::vector<std::vector<std::string>> parse_file(
+      const std::string& path, char sep = ',');
+};
+
+}  // namespace appscope::util

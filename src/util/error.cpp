@@ -1,0 +1,27 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace appscope::util::detail {
+
+namespace {
+std::string format(std::string_view kind, std::string_view expr,
+                   std::string_view file, int line, std::string_view msg) {
+  std::ostringstream oss;
+  oss << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) oss << " — " << msg;
+  return oss.str();
+}
+}  // namespace
+
+void throw_precondition(std::string_view expr, std::string_view file, int line,
+                        std::string_view msg) {
+  throw PreconditionError(format("precondition", expr, file, line, msg));
+}
+
+void throw_invariant(std::string_view expr, std::string_view file, int line,
+                     std::string_view msg) {
+  throw InvariantError(format("invariant", expr, file, line, msg));
+}
+
+}  // namespace appscope::util::detail

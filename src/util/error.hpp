@@ -1,0 +1,72 @@
+// appscope/util/error.hpp
+//
+// Error-handling primitives for the appscope library.
+//
+// Policy (per C++ Core Guidelines E.2/E.3): precondition violations and
+// unrecoverable logic errors throw exceptions derived from appscope::util::Error.
+// Hot inner loops use APPSCOPE_DCHECK, which compiles away in NDEBUG builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace appscope::util {
+
+/// Base class for all appscope exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is found broken (a bug in appscope).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on malformed external input (files, CSV, CLI arguments).
+class InputError : public Error {
+ public:
+  explicit InputError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(std::string_view expr, std::string_view file,
+                                     int line, std::string_view msg);
+[[noreturn]] void throw_invariant(std::string_view expr, std::string_view file,
+                                  int line, std::string_view msg);
+}  // namespace detail
+
+}  // namespace appscope::util
+
+/// Validate a documented precondition; throws PreconditionError when false.
+#define APPSCOPE_REQUIRE(cond, msg)                                             \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::appscope::util::detail::throw_precondition(#cond, __FILE__, __LINE__,   \
+                                                   (msg));                      \
+    }                                                                           \
+  } while (false)
+
+/// Validate an internal invariant; throws InvariantError when false.
+#define APPSCOPE_CHECK(cond, msg)                                               \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::appscope::util::detail::throw_invariant(#cond, __FILE__, __LINE__,      \
+                                                (msg));                         \
+    }                                                                           \
+  } while (false)
+
+/// Debug-only invariant check for hot paths; no-op in NDEBUG builds.
+#ifdef NDEBUG
+#define APPSCOPE_DCHECK(cond, msg) ((void)0)
+#else
+#define APPSCOPE_DCHECK(cond, msg) APPSCOPE_CHECK(cond, msg)
+#endif

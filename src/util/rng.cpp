@@ -1,0 +1,211 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace appscope::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t tag) const noexcept {
+  // Mix the full parent state with the tag through SplitMix64 so forked
+  // streams do not overlap the parent sequence.
+  SplitMix64 sm(s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 47) ^
+                (tag * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL));
+  Rng child(sm.next());
+  return child;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits into the mantissa: uniform on [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  if (n == 0) return 0;  // degenerate; callers validate via APPSCOPE_REQUIRE
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= std::numeric_limits<double>::min()) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double sigma) noexcept {
+  return mean + sigma * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double lambda) noexcept {
+  double u = uniform();
+  while (u <= std::numeric_limits<double>::min()) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+std::uint64_t Rng::poisson(double lambda) noexcept {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth inversion by multiplication.
+    const double limit = std::exp(-lambda);
+    double prod = uniform();
+    std::uint64_t k = 0;
+    while (prod > limit) {
+      ++k;
+      prod *= uniform();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for synthetic
+  // traffic volumes at lambda >= 30 (relative error < 1e-2 on tail shares).
+  const double x = normal(lambda, std::sqrt(lambda));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+// ---------------------------------------------------------------------------
+// ZipfSampler — rejection-inversion (Hörmann & Derflinger 1996).
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Helper: computes (exp(x) - 1) / x with stability near 0.
+double expm1_over_x(double x) noexcept {
+  return std::abs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x / 2.0;
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  APPSCOPE_REQUIRE(n >= 1, "ZipfSampler needs at least one rank");
+  APPSCOPE_REQUIRE(s > 0.0, "ZipfSampler exponent must be positive");
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  t_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfSampler::h(double x) const noexcept {
+  // H(x) = integral of x^-s; log form when s == 1.
+  const double log_x = std::log(x);
+  return expm1_over_x((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfSampler::h_inv(double x) const noexcept {
+  const double one_minus_s = 1.0 - s_;
+  if (std::abs(one_minus_s) < 1e-12) return std::exp(x);  // s == 1: H(x)=log x
+  const double t = std::max(std::nextafter(-1.0, 0.0), x * one_minus_s);
+  return std::exp(std::log1p(t) / one_minus_s);
+}
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) const noexcept {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_inv(u);
+    const auto k = static_cast<std::uint64_t>(x + 0.5);
+    const auto clamped = k < 1 ? 1 : (k > n_ ? n_ : k);
+    const double kd = static_cast<double>(clamped);
+    if (kd - x <= t_ || u >= h(kd + 0.5) - std::exp(-s_ * std::log(kd))) {
+      return clamped;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AliasSampler — Walker / Vose alias method.
+// ---------------------------------------------------------------------------
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  APPSCOPE_REQUIRE(!weights.empty(), "AliasSampler needs at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    APPSCOPE_REQUIRE(w >= 0.0, "AliasSampler weights must be non-negative");
+    total += w;
+  }
+  APPSCOPE_REQUIRE(total > 0.0, "AliasSampler needs a positive total weight");
+
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+  for (const std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasSampler::operator()(Rng& rng) const noexcept {
+  const std::size_t column = static_cast<std::size_t>(rng.uniform_index(prob_.size()));
+  return rng.uniform() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace appscope::util

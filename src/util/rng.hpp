@@ -1,0 +1,129 @@
+// appscope/util/rng.hpp
+//
+// Deterministic random-number generation for reproducible experiments.
+//
+// Every synthetic-data component in appscope draws randomness from an
+// explicitly seeded Rng; results never depend on wall-clock entropy, so the
+// same scenario seed regenerates the same figures bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace appscope::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into stream states.
+/// Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — fast, high-quality 64-bit generator (Blackman & Vigna).
+/// Satisfies the UniformRandomBitGenerator requirements so it composes with
+/// <random> distributions, but appscope ships its own samplers below for
+/// cross-platform determinism (libstdc++/libc++ distributions differ).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit Rng(std::uint64_t seed = 0x5EEDCAFEF00DULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  std::uint64_t operator()() noexcept { return next_u64(); }
+  std::uint64_t next_u64() noexcept;
+
+  /// Derives an independent child stream; children with distinct tags are
+  /// statistically independent of the parent and of each other.
+  Rng fork(std::uint64_t tag) const noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). Requires n > 0 (unbiased via rejection).
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal() noexcept;
+  /// Normal with given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma) noexcept;
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda) noexcept;
+  /// Poisson with mean lambda >= 0 (inversion for small, PTRS for large).
+  std::uint64_t poisson(double lambda) noexcept;
+  /// Bernoulli with success probability p in [0,1].
+  bool bernoulli(double p) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Samples ranks from a (bounded) Zipf distribution P(k) ∝ k^-s, k in [1, n].
+/// Uses the rejection-inversion method of Hörmann & Derflinger (1996), O(1)
+/// per sample for any s > 0, s != 1 handled uniformly.
+class ZipfSampler {
+ public:
+  /// n: number of ranks (>= 1); s: exponent (> 0).
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draws a rank in [1, n].
+  std::uint64_t operator()(Rng& rng) const noexcept;
+
+  std::uint64_t n() const noexcept { return n_; }
+  double exponent() const noexcept { return s_; }
+
+ private:
+  double h(double x) const noexcept;
+  double h_inv(double x) const noexcept;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double t_;  // rejection threshold helper
+};
+
+/// Draws an index in [0, weights.size()) with probability proportional to
+/// weights[i]. Built once (O(n)), sampled in O(1) via Walker's alias method.
+class AliasSampler {
+ public:
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  std::size_t operator()(Rng& rng) const noexcept;
+  std::size_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace appscope::util

@@ -1,0 +1,42 @@
+// appscope/util/strings.hpp
+//
+// Small string helpers shared across modules (formatting, splitting, units).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace appscope::util {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII letters.
+std::string to_lower(std::string_view text);
+
+/// Formats a double with `digits` significant decimal places ("3.14").
+std::string format_double(double value, int digits = 3);
+
+/// Formats a fraction as a percentage string ("46.2%").
+std::string format_percent(double fraction, int digits = 1);
+
+/// Human-readable byte volume ("1.5 KB", "23.4 MB", "1.2 GB").
+std::string format_bytes(double bytes);
+
+/// Left/right-pads `text` with spaces to `width` (no-op if already wider).
+std::string pad_right(std::string_view text, std::size_t width);
+std::string pad_left(std::string_view text, std::size_t width);
+
+/// Parses a double / integer, throwing InputError on malformed input.
+double parse_double(std::string_view text);
+std::int64_t parse_int(std::string_view text);
+
+}  // namespace appscope::util

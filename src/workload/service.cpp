@@ -1,0 +1,28 @@
+#include "workload/service.hpp"
+
+namespace appscope::workload {
+
+std::string_view category_name(Category c) noexcept {
+  switch (c) {
+    case Category::kVideoStreaming: return "Video streaming";
+    case Category::kAudioStreaming: return "Audio streaming";
+    case Category::kSocial: return "Social network";
+    case Category::kMessaging: return "Messaging";
+    case Category::kCloud: return "Cloud";
+    case Category::kAppStore: return "App store";
+    case Category::kNews: return "News";
+    case Category::kAdult: return "Adult";
+    case Category::kGaming: return "Gaming";
+    case Category::kMail: return "Mail";
+    case Category::kMms: return "MMS";
+    case Category::kWeb: return "Web";
+    case Category::kOther: return "Other";
+  }
+  return "???";
+}
+
+std::string_view direction_name(Direction d) noexcept {
+  return d == Direction::kDownlink ? "downlink" : "uplink";
+}
+
+}  // namespace appscope::workload

@@ -1,0 +1,42 @@
+// appscope/workload/service.hpp
+//
+// Identity and classification of mobile services. The paper studies 20
+// named services spanning heterogeneous categories (Fig. 3) out of >500
+// detected in the network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace appscope::workload {
+
+using ServiceIndex = std::size_t;
+
+enum class Category : std::uint8_t {
+  kVideoStreaming = 0,
+  kAudioStreaming,
+  kSocial,
+  kMessaging,
+  kCloud,
+  kAppStore,
+  kNews,
+  kAdult,
+  kGaming,
+  kMail,
+  kMms,
+  kWeb,
+  kOther,
+};
+
+inline constexpr std::size_t kCategoryCount = 13;
+
+std::string_view category_name(Category c) noexcept;
+
+enum class Direction : std::uint8_t { kDownlink = 0, kUplink = 1 };
+
+inline constexpr std::size_t kDirectionCount = 2;
+
+std::string_view direction_name(Direction d) noexcept;
+
+}  // namespace appscope::workload

@@ -1,0 +1,74 @@
+#include "core/category_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace appscope::core {
+namespace {
+
+const TrafficDataset& dataset() {
+  static const TrafficDataset d =
+      TrafficDataset::generate(synth::ScenarioConfig::test_scale());
+  return d;
+}
+
+const CategoryReport& report() {
+  static const CategoryReport r =
+      analyze_category_heterogeneity(dataset(), workload::Direction::kDownlink);
+  return r;
+}
+
+TEST(CategoryHeterogeneity, OnlyMultiMemberCategoriesReported) {
+  ASSERT_FALSE(report().categories.empty());
+  for (const auto& c : report().categories) {
+    EXPECT_GE(c.members.size(), 2u) << c.name;
+    for (const auto m : c.members) {
+      EXPECT_EQ(dataset().catalog()[m].category, c.category);
+    }
+  }
+}
+
+TEST(CategoryHeterogeneity, VideoStreamingIsPresentWithFiveMembers) {
+  bool found = false;
+  for (const auto& c : report().categories) {
+    if (c.category == workload::Category::kVideoStreaming) {
+      found = true;
+      EXPECT_EQ(c.members.size(), 5u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CategoryHeterogeneity, MembersOfACategoryHaveDistinctDynamics) {
+  // The paper: "video streaming behaves quite differently in YouTube,
+  // Facebook, Instagram, Netflix and iTunes platforms."
+  for (const auto& c : report().categories) {
+    EXPECT_GT(c.mean_pairwise_sbd, 0.01) << c.name;
+    EXPECT_GE(c.max_pairwise_sbd, c.mean_pairwise_sbd) << c.name;
+    if (c.category == workload::Category::kVideoStreaming) {
+      EXPECT_GE(c.distinct_signatures, 3u);
+      EXPECT_GT(c.max_pairwise_sbd, 0.05);
+    }
+  }
+}
+
+TEST(CategoryHeterogeneity, AggregateExplainsSharedDiurnalButNotEverything) {
+  for (const auto& c : report().categories) {
+    // The shared diurnal cycle keeps member-aggregate r² well above zero...
+    EXPECT_GT(c.mean_member_aggregate_r2, 0.4) << c.name;
+    // ...but not at the level that would make per-service analysis moot.
+    EXPECT_LT(c.mean_member_aggregate_r2, 0.999) << c.name;
+  }
+}
+
+TEST(CategoryHeterogeneity, SbdValuesAreValidDistances) {
+  for (const auto& c : report().categories) {
+    EXPECT_GE(c.mean_pairwise_sbd, 0.0);
+    EXPECT_LE(c.max_pairwise_sbd, 2.0);
+  }
+  EXPECT_GT(report().overall_mean_sbd(), 0.0);
+}
+
+}  // namespace
+}  // namespace appscope::core

@@ -1,0 +1,91 @@
+#include "core/dataset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace appscope::core {
+namespace {
+
+const TrafficDataset& dataset() {
+  static const TrafficDataset d = [] {
+    auto cfg = synth::ScenarioConfig::test_scale();
+    cfg.country.commune_count = 60;  // keep CSV sizes small
+    cfg.country.metro_count = 2;
+    return TrafficDataset::generate(cfg);
+  }();
+  return d;
+}
+
+TEST(DatasetIo, NationalSeriesCsvShape) {
+  std::ostringstream out;
+  write_national_series_csv(dataset(), out);
+  const std::string text = out.str();
+  // Header + 20 services x 2 directions x 168 hours.
+  const auto lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_EQ(lines, 1 + 20 * 2 * 168);
+  EXPECT_EQ(text.substr(0, text.find('\n')), "service,direction,hour,bytes");
+}
+
+TEST(DatasetIo, UrbanizationSeriesCsvShape) {
+  std::ostringstream out;
+  write_urbanization_series_csv(dataset(), out);
+  const std::string text = out.str();
+  const auto lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_EQ(lines, 1 + 20 * 2 * 4 * 168);
+}
+
+TEST(DatasetIo, CommuneTotalsRoundTrip) {
+  std::ostringstream out;
+  write_commune_totals_csv(dataset(), out);
+  const auto rows = read_commune_totals_csv(out.str());
+  ASSERT_EQ(rows.size(), 20u * 2u * dataset().commune_count());
+
+  // Check one specific entry against the dataset.
+  const auto yt = *dataset().catalog().find("YouTube");
+  const auto totals =
+      dataset().commune_totals(yt, workload::Direction::kDownlink);
+  bool found = false;
+  for (const auto& row : rows) {
+    if (row.service == "YouTube" &&
+        row.direction == workload::Direction::kDownlink && row.commune == 3) {
+      EXPECT_NEAR(row.bytes, totals[3], 0.5 + 1e-6 * totals[3]);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DatasetIo, ReadRejectsMalformedDocuments) {
+  EXPECT_THROW(read_commune_totals_csv("wrong,header\n1,2\n"), util::InputError);
+  EXPECT_THROW(read_commune_totals_csv(
+                   "service,direction,commune,urbanization,bytes,bytes_per_user\n"
+                   "YouTube,sideways,1,Urban,10,1\n"),
+               util::InputError);
+  EXPECT_THROW(read_commune_totals_csv(
+                   "service,direction,commune,urbanization,bytes,bytes_per_user\n"
+                   "YouTube,downlink,1,Urban,10\n"),
+               util::InputError);
+  EXPECT_THROW(read_commune_totals_csv(""), util::PreconditionError);
+}
+
+TEST(DatasetIo, ExportWritesAllThreeFiles) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "appscope_io_test").string();
+  std::filesystem::remove_all(dir);
+  const auto written = export_dataset_csv(dataset(), dir);
+  ASSERT_EQ(written.size(), 3u);
+  for (const auto& path : written) {
+    EXPECT_TRUE(std::filesystem::exists(path)) << path;
+    EXPECT_GT(std::filesystem::file_size(path), 100u) << path;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace appscope::core

@@ -1,0 +1,116 @@
+#include "core/rank_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace appscope::core {
+namespace {
+
+const TrafficDataset& dataset() {
+  static const TrafficDataset d =
+      TrafficDataset::generate(synth::ScenarioConfig::test_scale());
+  return d;
+}
+
+TEST(TopServices, SharesSumToOneAndRankingIsSorted) {
+  const TopServicesReport report =
+      analyze_top_services(dataset(), workload::Direction::kDownlink);
+  ASSERT_EQ(report.ranking.size(), 20u);
+  double total = 0.0;
+  for (std::size_t i = 0; i < report.ranking.size(); ++i) {
+    total += report.ranking[i].share;
+    if (i > 0) {
+      EXPECT_LE(report.ranking[i].volume, report.ranking[i - 1].volume);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TopServices, YouTubeLeadsDownlink) {
+  const TopServicesReport report =
+      analyze_top_services(dataset(), workload::Direction::kDownlink);
+  EXPECT_EQ(report.ranking.front().name, "YouTube");
+}
+
+TEST(TopServices, VideoStreamingNearHalfOfDownlink) {
+  const TopServicesReport report =
+      analyze_top_services(dataset(), workload::Direction::kDownlink);
+  EXPECT_NEAR(report.category_share(workload::Category::kVideoStreaming), 0.46,
+              0.06);
+}
+
+TEST(TopServices, UplinkTopThreeAreContentSharingServices) {
+  const TopServicesReport report =
+      analyze_top_services(dataset(), workload::Direction::kUplink);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto c = report.ranking[i].category;
+    EXPECT_TRUE(c == workload::Category::kSocial ||
+                c == workload::Category::kMessaging ||
+                c == workload::Category::kCloud)
+        << report.ranking[i].name;
+  }
+}
+
+TEST(TopServices, CategorySharesSumToOne) {
+  for (const auto d :
+       {workload::Direction::kDownlink, workload::Direction::kUplink}) {
+    const TopServicesReport report = analyze_top_services(dataset(), d);
+    double total = 0.0;
+    for (const double s : report.category_shares) total += s;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(ServiceRanking, FiveHundredServicesNormalized) {
+  const ServiceRankingReport report =
+      analyze_service_ranking(dataset(), workload::Direction::kDownlink);
+  ASSERT_EQ(report.normalized_volumes.size(), 500u);
+  double total = 0.0;
+  for (const double v : report.normalized_volumes) {
+    ASSERT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Monotone non-increasing.
+  for (std::size_t i = 1; i < report.normalized_volumes.size(); ++i) {
+    ASSERT_LE(report.normalized_volumes[i],
+              report.normalized_volumes[i - 1] + 1e-15);
+  }
+}
+
+TEST(ServiceRanking, TopHalfZipfExponentNearPaper) {
+  const ServiceRankingReport dl =
+      analyze_service_ranking(dataset(), workload::Direction::kDownlink);
+  EXPECT_NEAR(dl.top_half_fit.exponent, 1.69, 0.3);
+  EXPECT_GT(dl.top_half_fit.r2, 0.9);
+
+  const ServiceRankingReport ul =
+      analyze_service_ranking(dataset(), workload::Direction::kUplink);
+  EXPECT_NEAR(ul.top_half_fit.exponent, 1.55, 0.3);
+}
+
+TEST(ServiceRanking, BottomHalfCutoffExists) {
+  const ServiceRankingReport report =
+      analyze_service_ranking(dataset(), workload::Direction::kDownlink);
+  // The last rank falls far below the head law's extrapolation.
+  EXPECT_LT(report.tail_cutoff_ratio, 0.05);
+  // And the full-ranking fit is steeper than the top-half fit.
+  EXPECT_GT(report.full_fit.exponent, report.top_half_fit.exponent);
+}
+
+TEST(ServiceRanking, VolumeSpanIsManyOrdersOfMagnitude) {
+  const ServiceRankingReport report =
+      analyze_service_ranking(dataset(), workload::Direction::kDownlink);
+  EXPECT_GT(report.normalized_volumes.front() / report.normalized_volumes.back(),
+            1e6);
+}
+
+TEST(ServiceRanking, RequiresTail) {
+  EXPECT_THROW(
+      analyze_service_ranking(dataset(), workload::Direction::kDownlink, 20),
+      util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::core

@@ -1,0 +1,72 @@
+#include "core/study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace appscope::core {
+namespace {
+
+const TrafficDataset& dataset() {
+  static const TrafficDataset d =
+      TrafficDataset::generate(synth::ScenarioConfig::test_scale());
+  return d;
+}
+
+const StudyReport& study() {
+  static const StudyReport report = [] {
+    StudyOptions options;
+    options.cluster.k_min = 2;
+    options.cluster.k_max = 8;  // keep the integration test quick
+    return run_study(dataset(), options);
+  }();
+  return report;
+}
+
+TEST(Study, AllFigureReportsPopulated) {
+  const auto& r = study();
+  EXPECT_EQ(r.ranking[0].normalized_volumes.size(), 500u);
+  EXPECT_EQ(r.top_services[0].ranking.size(), 20u);
+  EXPECT_EQ(r.clustering[0].rows.size(), 7u);
+  EXPECT_EQ(r.peaks.services.size(), 20u);
+  EXPECT_EQ(r.concentration.name, "Twitter");
+  EXPECT_EQ(r.map_a.name, "Twitter");
+  EXPECT_EQ(r.map_b.name, "Netflix");
+  EXPECT_EQ(r.correlation[0].r2.rows(), 20u);
+  EXPECT_EQ(r.urbanization.services.size(), 20u);
+  EXPECT_EQ(r.week_split.services.size(), 20u);
+  EXPECT_FALSE(r.categories.categories.empty());
+  EXPECT_EQ(r.slicing.slices.size(), 20u);
+  EXPECT_GT(r.slicing.multiplexing_gain(), 0.0);
+}
+
+TEST(Study, DirectionsAreDistinct) {
+  const auto& r = study();
+  EXPECT_NE(r.top_services[0].ranking.front().name,
+            r.top_services[1].ranking.front().name);
+}
+
+TEST(Study, HeadlineFindingsHold) {
+  const auto& r = study();
+  // Finding 1: diverse temporal signatures (many distinct peak sets).
+  std::set<std::vector<ts::TopicalTime>> signatures;
+  for (const auto& sp : r.peaks.services) signatures.insert(sp.topical_times);
+  EXPECT_GE(signatures.size(), 10u);
+  // Finding 2: similar spatial distributions (high mean pairwise r²).
+  EXPECT_GT(r.correlation[0].mean_r2, 0.35);
+  // Finding 3: urbanization drives volume, not timing.
+  EXPECT_NEAR(r.urbanization.mean_volume_ratio(geo::Urbanization::kRural), 0.5,
+              0.15);
+  EXPECT_GT(r.urbanization.mean_temporal_r2(geo::Urbanization::kRural), 0.6);
+}
+
+TEST(Study, UnknownServiceNameThrows) {
+  StudyOptions options;
+  options.concentration_service = "Myspace";
+  EXPECT_THROW(run_study(dataset(), options), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::core

@@ -1,0 +1,89 @@
+#include "core/urbanization_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace appscope::core {
+namespace {
+
+const TrafficDataset& dataset() {
+  static const TrafficDataset d =
+      TrafficDataset::generate(synth::ScenarioConfig::test_scale());
+  return d;
+}
+
+const UrbanizationReport& report() {
+  static const UrbanizationReport r =
+      analyze_urbanization(dataset(), workload::Direction::kDownlink);
+  return r;
+}
+
+TEST(Urbanization, OneEntryPerService) {
+  EXPECT_EQ(report().services.size(), 20u);
+}
+
+TEST(Urbanization, UrbanRatioIsOneByDefinition) {
+  for (const auto& s : report().services) {
+    EXPECT_DOUBLE_EQ(
+        s.volume_ratio[static_cast<std::size_t>(geo::Urbanization::kUrban)], 1.0);
+  }
+}
+
+TEST(Urbanization, SemiUrbanNearUrban) {
+  // Fig. 11 top, finding (i): semi-urban per-user usage ≈ urban.
+  EXPECT_NEAR(report().mean_volume_ratio(geo::Urbanization::kSemiUrban), 1.0,
+              0.2);
+}
+
+TEST(Urbanization, RuralAboutHalf) {
+  // Fig. 11 top, finding (ii): rural users consume about half.
+  EXPECT_NEAR(report().mean_volume_ratio(geo::Urbanization::kRural), 0.5, 0.15);
+}
+
+TEST(Urbanization, TgvAtLeastTwice) {
+  // Fig. 11 top, finding (iii): high-speed train passengers generate twice
+  // or more the urban volume.
+  EXPECT_GE(report().mean_volume_ratio(geo::Urbanization::kTgv), 1.8);
+}
+
+TEST(Urbanization, AdultIsTheTgvException) {
+  for (const auto& s : report().services) {
+    const double tgv =
+        s.volume_ratio[static_cast<std::size_t>(geo::Urbanization::kTgv)];
+    if (s.name == "Adult") {
+      EXPECT_LT(tgv, 0.7) << "adult browsing on trains should be depressed";
+    }
+  }
+}
+
+TEST(Urbanization, TemporalCorrelationHighExceptTgv) {
+  // Fig. 11 bottom: urbanization barely affects *when* people use services —
+  // except on TGVs, whose schedules reshape the time series.
+  const double urban = report().mean_temporal_r2(geo::Urbanization::kUrban);
+  const double semi = report().mean_temporal_r2(geo::Urbanization::kSemiUrban);
+  const double rural = report().mean_temporal_r2(geo::Urbanization::kRural);
+  const double tgv = report().mean_temporal_r2(geo::Urbanization::kTgv);
+  EXPECT_GT(semi, 0.7);
+  EXPECT_GT(rural, 0.6);
+  EXPECT_LT(tgv, rural);
+  EXPECT_LT(tgv, semi);
+  EXPECT_GT(urban, tgv);
+}
+
+TEST(Urbanization, PerServiceTemporalR2InRange) {
+  for (const auto& s : report().services) {
+    for (const double r2 : s.temporal_r2) {
+      ASSERT_GE(r2, 0.0) << s.name;
+      ASSERT_LE(r2, 1.0) << s.name;
+    }
+  }
+}
+
+TEST(Urbanization, UplinkDirectionAlsoWorks) {
+  const UrbanizationReport ul =
+      analyze_urbanization(dataset(), workload::Direction::kUplink);
+  EXPECT_EQ(ul.services.size(), 20u);
+  EXPECT_NEAR(ul.mean_volume_ratio(geo::Urbanization::kRural), 0.5, 0.2);
+}
+
+}  // namespace
+}  // namespace appscope::core

@@ -1,0 +1,111 @@
+#include "geo/grid_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace appscope::geo {
+namespace {
+
+TEST(GridMap, DepositAndReadBack) {
+  GridMap map(10, 10, 100.0);
+  map.deposit({5.0, 5.0}, 3.0);
+  map.deposit({5.0, 5.0}, 5.0);
+  EXPECT_DOUBLE_EQ(map.cell(0, 0), 4.0);  // mean of deposits
+  EXPECT_TRUE(map.occupied(0, 0));
+  EXPECT_FALSE(map.occupied(5, 5));
+  EXPECT_DOUBLE_EQ(map.cell(5, 5), 0.0);
+  EXPECT_DOUBLE_EQ(map.max_cell(), 4.0);
+}
+
+TEST(GridMap, EdgeCoordinatesClampIntoRaster) {
+  GridMap map(4, 4, 100.0);
+  map.deposit({100.0, 100.0}, 1.0);  // exactly on the far corner
+  map.deposit({-5.0, 200.0}, 1.0);   // outside: clamped
+  EXPECT_TRUE(map.occupied(3, 3));
+  EXPECT_TRUE(map.occupied(0, 3));
+}
+
+TEST(GridMap, AsciiRenderingShapes) {
+  GridMap map(6, 3, 60.0);
+  map.deposit({10.0, 10.0}, 1.0);
+  const std::string art = map.render_ascii(false);
+  // 3 rows, each 6 chars + newline.
+  EXPECT_EQ(art.size(), 3u * 7u);
+  // Exactly one non-space glyph.
+  std::size_t glyphs = 0;
+  for (const char c : art) {
+    if (c != ' ' && c != '\n') ++glyphs;
+  }
+  EXPECT_EQ(glyphs, 1u);
+}
+
+TEST(GridMap, AsciiNorthUpOrientation) {
+  GridMap map(2, 2, 10.0);
+  map.deposit({1.0, 9.0}, 1.0);  // north-west cell
+  const std::string art = map.render_ascii(false);
+  // First printed row is the north row: glyph must be its first char.
+  EXPECT_NE(art[0], ' ');
+}
+
+TEST(GridMap, LogScaleSeparatesDecades) {
+  GridMap lin(3, 1, 30.0);
+  lin.deposit({5.0, 0.5}, 1.0);
+  lin.deposit({15.0, 0.5}, 10.0);
+  lin.deposit({25.0, 0.5}, 100.0);
+  const std::string log_art = lin.render_ascii(true);
+  // In log scale the mid value maps to the middle shade bucket: all three
+  // glyphs must be distinct.
+  EXPECT_NE(log_art[0], log_art[1]);
+  EXPECT_NE(log_art[1], log_art[2]);
+}
+
+TEST(GridMap, PgmHeaderAndSize) {
+  GridMap map(4, 2, 40.0);
+  map.deposit({1.0, 1.0}, 2.0);
+  const std::string pgm = map.render_pgm();
+  EXPECT_EQ(pgm.substr(0, 3), "P2\n");
+  EXPECT_NE(pgm.find("4 2"), std::string::npos);
+  EXPECT_NE(pgm.find("255"), std::string::npos);
+}
+
+TEST(GridMap, Validation) {
+  EXPECT_THROW(GridMap(0, 5, 10.0), util::PreconditionError);
+  EXPECT_THROW(GridMap(5, 5, 0.0), util::PreconditionError);
+  GridMap map(2, 2, 10.0);
+  EXPECT_THROW(map.cell(2, 0), util::PreconditionError);
+}
+
+TEST(MapCommuneValues, OneValuePerCommuneRequired) {
+  CountryConfig cfg;
+  cfg.commune_count = 100;
+  cfg.metro_count = 2;
+  cfg.side_km = 200.0;
+  cfg.largest_metro_population = 100'000;
+  const Territory t = build_synthetic_country(cfg);
+  EXPECT_THROW(map_commune_values(t, std::vector<double>(50, 1.0)),
+               util::PreconditionError);
+  const GridMap map = map_commune_values(t, std::vector<double>(100, 1.0), 20, 10);
+  EXPECT_EQ(map.cols(), 20u);
+  EXPECT_GT(map.max_cell(), 0.0);
+}
+
+TEST(MapCoverage, ProducesOccupiedCells) {
+  CountryConfig cfg;
+  cfg.commune_count = 100;
+  cfg.metro_count = 2;
+  cfg.side_km = 200.0;
+  cfg.largest_metro_population = 100'000;
+  const Territory t = build_synthetic_country(cfg);
+  const GridMap map = map_coverage(t, 20, 10);
+  std::size_t occupied = 0;
+  for (std::size_t r = 0; r < map.rows(); ++r) {
+    for (std::size_t c = 0; c < map.cols(); ++c) {
+      occupied += map.occupied(c, r) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(occupied, 10u);
+}
+
+}  // namespace
+}  // namespace appscope::geo

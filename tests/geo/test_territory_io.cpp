@@ -1,0 +1,81 @@
+#include "geo/territory_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace appscope::geo {
+namespace {
+
+Territory small_territory() {
+  CountryConfig cfg;
+  cfg.commune_count = 150;
+  cfg.metro_count = 2;
+  cfg.side_km = 250.0;
+  cfg.largest_metro_population = 150'000;
+  cfg.seed = 31;
+  return build_synthetic_country(cfg);
+}
+
+TEST(TerritoryIo, RoundTripPreservesEveryField) {
+  const Territory original = small_territory();
+  std::ostringstream out;
+  write_territory_csv(original, out);
+  const Territory loaded = read_territory_csv(out.str(), original.side_km());
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original.communes()[i];
+    const auto& b = loaded.communes()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_NEAR(a.centroid.x_km, b.centroid.x_km, 1e-3);
+    EXPECT_NEAR(a.centroid.y_km, b.centroid.y_km, 1e-3);
+    EXPECT_NEAR(a.area_km2, b.area_km2, 1e-3);
+    EXPECT_EQ(a.population, b.population);
+    EXPECT_EQ(a.urbanization, b.urbanization);
+    EXPECT_EQ(a.metro, b.metro);
+    EXPECT_EQ(a.has_3g, b.has_3g);
+    EXPECT_EQ(a.has_4g, b.has_4g);
+  }
+  // Class tallies survive the trip.
+  EXPECT_EQ(loaded.class_counts(), original.class_counts());
+  EXPECT_EQ(loaded.total_population(), original.total_population());
+}
+
+TEST(TerritoryIo, HeaderIsValidated) {
+  EXPECT_THROW(read_territory_csv("nope\n1,2\n", 100.0), util::InputError);
+  EXPECT_THROW(read_territory_csv("", 100.0), util::InputError);
+}
+
+TEST(TerritoryIo, RejectsNonDenseIds) {
+  const Territory t = small_territory();
+  std::ostringstream out;
+  write_territory_csv(t, out);
+  std::string text = out.str();
+  // Drop the first data row: ids are no longer dense from 0.
+  const std::size_t first_nl = text.find('\n');
+  const std::size_t second_nl = text.find('\n', first_nl + 1);
+  text.erase(first_nl + 1, second_nl - first_nl);
+  EXPECT_THROW(read_territory_csv(text, t.side_km()), util::InputError);
+}
+
+TEST(TerritoryIo, RejectsOutOfCountryCoordinates) {
+  const Territory t = small_territory();
+  std::ostringstream out;
+  write_territory_csv(t, out);
+  // A side too small to hold the communes must be rejected.
+  EXPECT_THROW(read_territory_csv(out.str(), 1.0), util::InputError);
+}
+
+TEST(TerritoryIo, RejectsUnknownUrbanization) {
+  const std::string text =
+      "id,name,x_km,y_km,area_km2,population,urbanization,metro,has_3g,has_4g\n"
+      "0,C0,1.0,1.0,16.0,100,Suburbia,-,1,0\n";
+  EXPECT_THROW(read_territory_csv(text, 100.0), util::InputError);
+}
+
+}  // namespace
+}  // namespace appscope::geo

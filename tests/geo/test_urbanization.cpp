@@ -1,0 +1,70 @@
+#include "geo/urbanization.hpp"
+
+#include <gtest/gtest.h>
+
+namespace appscope::geo {
+namespace {
+
+Commune make_commune(std::uint32_t population, double area) {
+  Commune c;
+  c.population = population;
+  c.area_km2 = area;
+  return c;
+}
+
+TEST(Urbanization, Names) {
+  EXPECT_EQ(urbanization_name(Urbanization::kUrban), "Urban");
+  EXPECT_EQ(urbanization_name(Urbanization::kSemiUrban), "Semi-Urban");
+  EXPECT_EQ(urbanization_name(Urbanization::kRural), "Rural");
+  EXPECT_EQ(urbanization_name(Urbanization::kTgv), "TGV");
+}
+
+TEST(Classify, DenseCommuneIsUrban) {
+  // 20,000 people on 10 km² = 2000/km².
+  EXPECT_EQ(classify_urbanization(make_commune(20'000, 10.0)),
+            Urbanization::kUrban);
+}
+
+TEST(Classify, PopulationFloorMakesUrban) {
+  // Low density but large absolute population still counts as urban.
+  EXPECT_EQ(classify_urbanization(make_commune(15'000, 100.0)),
+            Urbanization::kUrban);
+}
+
+TEST(Classify, MediumDensityIsSemiUrban) {
+  EXPECT_EQ(classify_urbanization(make_commune(5'000, 10.0)),
+            Urbanization::kSemiUrban);
+}
+
+TEST(Classify, SparseCommuneIsRural) {
+  EXPECT_EQ(classify_urbanization(make_commune(300, 20.0)), Urbanization::kRural);
+}
+
+TEST(Classify, CustomThresholds) {
+  UrbanizationThresholds t;
+  t.urban_density = 100.0;
+  t.semi_urban_density = 10.0;
+  t.urban_min_population = 1'000'000;
+  EXPECT_EQ(classify_urbanization(make_commune(300, 2.0), t),
+            Urbanization::kUrban);  // 150/km² >= 100
+  EXPECT_EQ(classify_urbanization(make_commune(300, 20.0), t),
+            Urbanization::kSemiUrban);  // 15/km²
+  EXPECT_EQ(classify_urbanization(make_commune(30, 20.0), t),
+            Urbanization::kRural);
+}
+
+TEST(Classify, NeverReturnsTgv) {
+  for (std::uint32_t pop : {0u, 100u, 10'000u, 1'000'000u}) {
+    EXPECT_NE(classify_urbanization(make_commune(pop, 16.0)),
+              Urbanization::kTgv);
+  }
+}
+
+TEST(Commune, DensityComputation) {
+  EXPECT_DOUBLE_EQ(make_commune(800, 16.0).density_per_km2(), 50.0);
+  Commune zero_area = make_commune(100, 0.0);
+  EXPECT_DOUBLE_EQ(zero_area.density_per_km2(), 0.0);
+}
+
+}  // namespace
+}  // namespace appscope::geo

@@ -1,0 +1,118 @@
+#include "la/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/vector_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appscope::la {
+namespace {
+
+Matrix diag2(double a, double b) { return Matrix(2, 2, {a, 0.0, 0.0, b}); }
+
+TEST(PowerIteration, DiagonalDominantEigenpair) {
+  const EigenPair p = power_iteration(diag2(5.0, 2.0));
+  EXPECT_NEAR(p.value, 5.0, 1e-8);
+  EXPECT_NEAR(std::abs(p.vector[0]), 1.0, 1e-6);
+  EXPECT_NEAR(p.vector[1], 0.0, 1e-6);
+}
+
+TEST(PowerIteration, ReturnsLargestAlgebraicNotLargestMagnitude) {
+  // Eigenvalues -10 and 1; shape extraction needs +1 (Rayleigh max).
+  const EigenPair p = power_iteration(diag2(-10.0, 1.0));
+  EXPECT_NEAR(p.value, 1.0, 1e-7);
+}
+
+TEST(PowerIteration, SymmetricMatrixKnownSpectrum) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1; top eigenvector is (1,1)/√2.
+  const Matrix m(2, 2, {2, 1, 1, 2});
+  const EigenPair p = power_iteration(m);
+  EXPECT_NEAR(p.value, 3.0, 1e-8);
+  EXPECT_NEAR(std::abs(p.vector[0]), std::abs(p.vector[1]), 1e-6);
+  EXPECT_NEAR(norm2(p.vector), 1.0, 1e-9);
+}
+
+TEST(PowerIteration, RejectsNonSymmetric) {
+  const Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_THROW(power_iteration(m), util::PreconditionError);
+  EXPECT_THROW(power_iteration(Matrix()), util::PreconditionError);
+}
+
+TEST(PowerIteration, EigenEquationHoldsOnRandomSymmetric) {
+  util::Rng rng(11);
+  const std::size_t n = 24;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m(i, j) = m(j, i) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  const EigenPair p = power_iteration(m);
+  const auto mv = m.multiply(p.vector);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(mv[i], p.value * p.vector[i], 1e-5);
+  }
+}
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  const EigenDecomposition d = jacobi_eigen(diag2(2.0, 7.0));
+  ASSERT_EQ(d.values.size(), 2u);
+  EXPECT_NEAR(d.values[0], 7.0, 1e-10);
+  EXPECT_NEAR(d.values[1], 2.0, 1e-10);
+}
+
+TEST(JacobiEigen, KnownSpectrum) {
+  const Matrix m(3, 3, {2, 1, 0, 1, 2, 1, 0, 1, 2});
+  const EigenDecomposition d = jacobi_eigen(m);
+  // Eigenvalues of this tridiagonal matrix: 2 + √2, 2, 2 - √2.
+  EXPECT_NEAR(d.values[0], 2.0 + std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(d.values[1], 2.0, 1e-9);
+  EXPECT_NEAR(d.values[2], 2.0 - std::sqrt(2.0), 1e-9);
+}
+
+TEST(JacobiEigen, EigenvectorsAreOrthonormal) {
+  util::Rng rng(12);
+  const std::size_t n = 10;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) m(i, j) = m(j, i) = rng.normal();
+  }
+  const EigenDecomposition d = jacobi_eigen(m);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      const double expected = a == b ? 1.0 : 0.0;
+      EXPECT_NEAR(dot(d.vectors.row(a), d.vectors.row(b)), expected, 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigen, TraceEqualsEigenvalueSum) {
+  util::Rng rng(13);
+  const std::size_t n = 8;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) m(i, j) = m(j, i) = rng.normal();
+  }
+  const EigenDecomposition d = jacobi_eigen(m);
+  double sum = 0.0;
+  for (const double v : d.values) sum += v;
+  EXPECT_NEAR(sum, m.trace(), 1e-8);
+}
+
+TEST(JacobiEigen, AgreesWithPowerIteration) {
+  util::Rng rng(14);
+  const std::size_t n = 16;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) m(i, j) = m(j, i) = rng.uniform(-1, 1);
+  }
+  const EigenDecomposition full = jacobi_eigen(m);
+  const EigenPair top = power_iteration(m);
+  EXPECT_NEAR(full.values.front(), top.value, 1e-6);
+}
+
+}  // namespace
+}  // namespace appscope::la

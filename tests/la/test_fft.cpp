@@ -1,0 +1,129 @@
+#include "la/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appscope::la {
+namespace {
+
+TEST(NextPow2, Basics) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(168), 256u);
+  EXPECT_EQ(next_pow2(256), 256u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(3);
+  EXPECT_THROW(fft(data, false), util::PreconditionError);
+}
+
+TEST(Fft, ForwardOfImpulseIsFlat) {
+  std::vector<std::complex<double>> data(8, 0.0);
+  data[0] = 1.0;
+  fft(data, false);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, RoundTripRecoversSignal) {
+  util::Rng rng(5);
+  std::vector<std::complex<double>> data(64);
+  std::vector<std::complex<double>> original(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    original[i] = data[i];
+  }
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  util::Rng rng(6);
+  std::vector<std::complex<double>> data(32);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = {rng.uniform(-1, 1), 0.0};
+    time_energy += std::norm(x);
+  }
+  fft(data, false);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / 32.0, time_energy, 1e-10);
+}
+
+TEST(CrossCorrelation, DirectMatchesHandComputation) {
+  // a = [1,2,3], b = [1,1]: r[k] = sum_j a[j+s] b[j], s = k-1.
+  const auto r = cross_correlation_direct({1, 2, 3}, {1, 1});
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);  // s=-1: a[0]*b[1]
+  EXPECT_DOUBLE_EQ(r[1], 3.0);  // s=0: 1+2
+  EXPECT_DOUBLE_EQ(r[2], 5.0);  // s=1: 2+3
+  EXPECT_DOUBLE_EQ(r[3], 3.0);  // s=2: a[2]*b[0]
+}
+
+TEST(CrossCorrelation, FftMatchesDirect) {
+  util::Rng rng(7);
+  for (const std::size_t n : {4u, 17u, 100u, 168u}) {
+    std::vector<double> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.uniform(-2, 2);
+      b[i] = rng.uniform(-2, 2);
+    }
+    const auto direct = cross_correlation_direct(a, b);
+    const auto fast = cross_correlation_fft(a, b);
+    ASSERT_EQ(direct.size(), fast.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_NEAR(direct[i], fast[i], 1e-8) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(CrossCorrelation, UnequalLengths) {
+  const auto direct = cross_correlation_direct({1, 2, 3, 4}, {1, 0, 1});
+  const auto fast = cross_correlation_fft({1, 2, 3, 4}, {1, 0, 1});
+  ASSERT_EQ(direct.size(), 6u);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], fast[i], 1e-10);
+  }
+}
+
+TEST(CrossCorrelation, AutoCorrelationPeakAtZeroShift) {
+  const std::vector<double> a{1, -2, 3, -1, 0.5};
+  const auto r = cross_correlation(a, a);
+  // Zero shift is at index n-1.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < r.size(); ++i) {
+    if (r[i] > r[best]) best = i;
+  }
+  EXPECT_EQ(best, a.size() - 1);
+}
+
+TEST(Convolve, MatchesHandComputation) {
+  const auto c = convolve({1, 2}, {3, 4, 5});
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_NEAR(c[0], 3.0, 1e-10);
+  EXPECT_NEAR(c[1], 10.0, 1e-10);
+  EXPECT_NEAR(c[2], 13.0, 1e-10);
+  EXPECT_NEAR(c[3], 10.0, 1e-10);
+}
+
+TEST(CrossCorrelation, EmptyInputThrows) {
+  EXPECT_THROW(cross_correlation_direct({}, {1.0}), util::PreconditionError);
+  EXPECT_THROW(cross_correlation_fft({1.0}, {}), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::la

@@ -1,0 +1,116 @@
+#include "la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace appscope::la {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, CheckedAccessThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), util::PreconditionError);
+  EXPECT_THROW(m.at(0, 2), util::PreconditionError);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, FromDataValidatesSize) {
+  EXPECT_NO_THROW(Matrix(2, 2, {1.0, 2.0, 3.0, 4.0}));
+  EXPECT_THROW(Matrix(2, 2, std::vector<double>{1.0}), util::PreconditionError);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id.trace(), 3.0);
+  EXPECT_TRUE(id.is_symmetric());
+}
+
+TEST(Matrix, OuterProduct) {
+  const Matrix m = Matrix::outer(std::vector<double>{1.0, 2.0},
+                                 std::vector<double>{3.0, 4.0, 5.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 10.0);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Arithmetic) {
+  const Matrix a(2, 2, {1, 2, 3, 4});
+  const Matrix b(2, 2, {5, 6, 7, 8});
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 12.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 4.0);
+  Matrix scaled = a;
+  scaled *= 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(Matrix, MultiplicationMatchesHandComputation) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = a * b;
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyVector) {
+  const Matrix a(2, 2, {1, 2, 3, 4});
+  const auto y = a.multiply(std::vector<double>{1.0, 1.0});
+  EXPECT_EQ(y, (std::vector<double>{3.0, 7.0}));
+  EXPECT_THROW(a.multiply(std::vector<double>{1.0}), util::PreconditionError);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  const Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a + b, util::PreconditionError);
+  EXPECT_THROW(b * b, util::PreconditionError);
+}
+
+TEST(Matrix, SymmetryCheck) {
+  Matrix m(2, 2, {1, 2, 2, 1});
+  EXPECT_TRUE(m.is_symmetric());
+  m(0, 1) = 3.0;
+  EXPECT_FALSE(m.is_symmetric());
+  EXPECT_FALSE(Matrix(2, 3).is_symmetric());
+}
+
+TEST(Matrix, ApproxEqual) {
+  const Matrix a(1, 2, {1.0, 2.0});
+  const Matrix b(1, 2, {1.0 + 1e-12, 2.0});
+  EXPECT_TRUE(a.approx_equal(b, 1e-9));
+  EXPECT_FALSE(a.approx_equal(b, 1e-15));
+  EXPECT_FALSE(a.approx_equal(Matrix(2, 1), 1.0));
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix m(1, 2, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, TraceRequiresSquare) {
+  EXPECT_THROW(Matrix(2, 3).trace(), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::la

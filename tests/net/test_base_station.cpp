@@ -1,0 +1,112 @@
+#include "net/base_station.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace appscope::net {
+namespace {
+
+geo::Territory small_territory() {
+  geo::CountryConfig cfg;
+  cfg.commune_count = 200;
+  cfg.metro_count = 2;
+  cfg.side_km = 250.0;
+  cfg.largest_metro_population = 200'000;
+  cfg.seed = 9;
+  return geo::build_synthetic_country(cfg);
+}
+
+TEST(BaseStationRegistry, EveryCommuneHasCells) {
+  const geo::Territory t = small_territory();
+  const BaseStationRegistry cells(t, {});
+  EXPECT_GE(cells.size(), t.size());
+  for (std::size_t c = 0; c < t.size(); ++c) {
+    EXPECT_FALSE(cells.cells_in(static_cast<geo::CommuneId>(c)).empty()) << c;
+  }
+}
+
+TEST(BaseStationRegistry, CellsMapBackToTheirCommune) {
+  const geo::Territory t = small_territory();
+  const BaseStationRegistry cells(t, {});
+  for (std::size_t c = 0; c < t.size(); ++c) {
+    for (const CellId id : cells.cells_in(static_cast<geo::CommuneId>(c))) {
+      EXPECT_EQ(cells.commune_of(id), c);
+    }
+  }
+}
+
+TEST(BaseStationRegistry, BigCommunesGetMoreCells) {
+  const geo::Territory t = small_territory();
+  const BaseStationRegistry cells(t, {});
+  std::size_t big = 0;
+  for (std::size_t c = 0; c < t.size(); ++c) {
+    if (t.communes()[c].population > t.communes()[big].population) big = c;
+  }
+  EXPECT_GT(cells.cells_in(static_cast<geo::CommuneId>(big)).size(), 1u);
+}
+
+TEST(BaseStationRegistry, Covered4gCommunesHaveLteCell) {
+  const geo::Territory t = small_territory();
+  const BaseStationRegistry cells(t, {});
+  for (std::size_t c = 0; c < t.size(); ++c) {
+    if (!t.communes()[c].has_4g) continue;
+    bool any_lte = false;
+    for (const CellId id : cells.cells_in(static_cast<geo::CommuneId>(c))) {
+      if (cells.station(id).rat == Rat::kLte4g) any_lte = true;
+    }
+    EXPECT_TRUE(any_lte) << c;
+  }
+}
+
+TEST(BaseStationRegistry, No4gCoverageMeansNoLteCells) {
+  const geo::Territory t = small_territory();
+  const BaseStationRegistry cells(t, {});
+  for (std::size_t c = 0; c < t.size(); ++c) {
+    if (t.communes()[c].has_4g) continue;
+    for (const CellId id : cells.cells_in(static_cast<geo::CommuneId>(c))) {
+      EXPECT_EQ(cells.station(id).rat, Rat::kUmts3g) << c;
+    }
+  }
+}
+
+TEST(BaseStationRegistry, PickCellHonoursPreference) {
+  const geo::Territory t = small_territory();
+  const BaseStationRegistry cells(t, {});
+  for (std::size_t c = 0; c < t.size(); ++c) {
+    if (!t.communes()[c].has_4g) continue;
+    const CellId id =
+        cells.pick_cell(static_cast<geo::CommuneId>(c), Rat::kLte4g, 0);
+    EXPECT_EQ(cells.station(id).rat, Rat::kLte4g);
+    EXPECT_EQ(cells.commune_of(id), c);
+  }
+}
+
+TEST(BaseStationRegistry, PickCellFallsBackWhenNoMatch) {
+  const geo::Territory t = small_territory();
+  const BaseStationRegistry cells(t, {});
+  for (std::size_t c = 0; c < t.size(); ++c) {
+    if (t.communes()[c].has_4g) continue;
+    // Asking for LTE in a 3G-only commune returns some cell of the commune.
+    const CellId id =
+        cells.pick_cell(static_cast<geo::CommuneId>(c), Rat::kLte4g, 5);
+    EXPECT_EQ(cells.commune_of(id), c);
+    return;  // one such commune is enough
+  }
+}
+
+TEST(BaseStationRegistry, Validation) {
+  const geo::Territory t = small_territory();
+  DeploymentConfig bad;
+  bad.residents_per_cell = 0.0;
+  EXPECT_THROW(BaseStationRegistry(t, bad), util::PreconditionError);
+  bad = DeploymentConfig{};
+  bad.min_cells_per_commune = 0;
+  EXPECT_THROW(BaseStationRegistry(t, bad), util::PreconditionError);
+  const BaseStationRegistry cells(t, {});
+  EXPECT_THROW(cells.station(static_cast<CellId>(cells.size())),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::net

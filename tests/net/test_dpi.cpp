@@ -1,0 +1,88 @@
+#include "net/dpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace appscope::net {
+namespace {
+
+class DpiTest : public ::testing::Test {
+ protected:
+  workload::ServiceCatalog catalog_ = workload::ServiceCatalog::paper_services();
+  DpiEngine dpi_{catalog_};
+};
+
+TEST_F(DpiTest, CanonicalTokenStripsAndLowercases) {
+  EXPECT_EQ(DpiEngine::canonical_token("YouTube"), "youtube");
+  EXPECT_EQ(DpiEngine::canonical_token("Facebook Video"), "facebookvideo");
+  EXPECT_EQ(DpiEngine::canonical_token("Pokemon Go"), "pokemongo");
+  EXPECT_THROW(DpiEngine::canonical_token("!!!"), util::PreconditionError);
+}
+
+TEST_F(DpiTest, EveryRegisteredFingerprintClassifiesToItsService) {
+  for (workload::ServiceIndex s = 0; s < catalog_.size(); ++s) {
+    for (const auto& fp : dpi_.fingerprints(s)) {
+      const auto match = dpi_.classify(fp);
+      ASSERT_TRUE(match.has_value()) << fp;
+      EXPECT_EQ(match->service, s) << fp;
+    }
+  }
+}
+
+TEST_F(DpiTest, SniExactMatch) {
+  const auto match = dpi_.classify("sni:youtube.com");
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(catalog_[match->service].name, "YouTube");
+  EXPECT_EQ(match->technique, DpiMatch::Technique::kSni);
+}
+
+TEST_F(DpiTest, HostSuffixMatchesSubdomains) {
+  // cdn.netflix.net is registered; deeper subdomains match by suffix.
+  const auto match = dpi_.classify("host:edge7.cdn.netflix.net");
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(catalog_[match->service].name, "Netflix");
+  EXPECT_EQ(match->technique, DpiMatch::Technique::kHostSuffix);
+}
+
+TEST_F(DpiTest, HeuristicTechnique) {
+  const auto match = dpi_.classify("heur:proto-whatsapp");
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(catalog_[match->service].name, "WhatsApp");
+  EXPECT_EQ(match->technique, DpiMatch::Technique::kHeuristic);
+}
+
+TEST_F(DpiTest, UnknownTrafficIsUnclassified) {
+  EXPECT_FALSE(dpi_.classify("sni:opaque-12345").has_value());
+  EXPECT_FALSE(dpi_.classify("host:randomsite.org").has_value());
+  EXPECT_FALSE(dpi_.classify("").has_value());
+  EXPECT_FALSE(dpi_.classify("garbage").has_value());
+}
+
+TEST_F(DpiTest, SimilarButWrongDomainsDoNotMatch) {
+  // Prefix (not suffix) relationships must not match.
+  EXPECT_FALSE(dpi_.classify("host:youtube.com.evil.org").has_value());
+  EXPECT_FALSE(dpi_.classify("sni:youtube.org").has_value());
+}
+
+TEST_F(DpiTest, ServiceCountMatchesCatalog) {
+  EXPECT_EQ(dpi_.service_count(), catalog_.size());
+  EXPECT_THROW(dpi_.fingerprints(catalog_.size()), util::PreconditionError);
+}
+
+TEST_F(DpiTest, FingerprintsAreDistinctAcrossServices) {
+  std::set<std::string> all;
+  std::size_t total = 0;
+  for (workload::ServiceIndex s = 0; s < catalog_.size(); ++s) {
+    for (const auto& fp : dpi_.fingerprints(s)) {
+      all.insert(fp);
+      ++total;
+    }
+  }
+  EXPECT_EQ(all.size(), total);
+}
+
+}  // namespace
+}  // namespace appscope::net

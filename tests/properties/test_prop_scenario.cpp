@@ -1,0 +1,134 @@
+// Property-based sweeps over the end-to-end synthetic scenario: for a grid
+// of country sizes and seeds, the generated dataset must satisfy the
+// paper-level invariants regardless of scale.
+#include <gtest/gtest.h>
+
+#include "core/dataset.hpp"
+#include "core/urbanization_analysis.hpp"
+#include "stats/distribution.hpp"
+
+namespace appscope::core {
+namespace {
+
+struct ScenarioCase {
+  std::size_t communes;
+  std::size_t metros;
+  std::uint64_t seed;
+};
+
+class ScenarioProperties : public ::testing::TestWithParam<ScenarioCase> {
+ protected:
+  static synth::ScenarioConfig config_for(const ScenarioCase& c) {
+    synth::ScenarioConfig cfg = synth::ScenarioConfig::test_scale();
+    cfg.country.commune_count = c.communes;
+    cfg.country.metro_count = c.metros;
+    cfg.country.seed = c.seed;
+    cfg.population.seed = c.seed * 7 + 1;
+    cfg.traffic_seed = c.seed * 13 + 5;
+    return cfg;
+  }
+
+  const TrafficDataset& dataset() {
+    // One dataset per parameter set, cached across this suite's tests.
+    static std::map<std::tuple<std::size_t, std::size_t, std::uint64_t>,
+                    std::unique_ptr<TrafficDataset>>
+        cache;
+    const auto& p = GetParam();
+    const auto key = std::make_tuple(p.communes, p.metros, p.seed);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      it = cache.emplace(key, std::make_unique<TrafficDataset>(
+                                  TrafficDataset::generate(config_for(p))))
+               .first;
+    }
+    return *it->second;
+  }
+};
+
+TEST_P(ScenarioProperties, AggregatesAreCoherent) {
+  EXPECT_NO_THROW(dataset().validate());
+}
+
+TEST_P(ScenarioProperties, UplinkStaysBelowOneTwentieth) {
+  const auto& d = dataset();
+  const double ul = d.direction_total(workload::Direction::kUplink);
+  const double total = ul + d.direction_total(workload::Direction::kDownlink);
+  EXPECT_LT(ul / total, 1.0 / 15.0);
+  EXPECT_GT(ul / total, 1.0 / 40.0);
+}
+
+TEST_P(ScenarioProperties, EveryInhabitedClassCarriesTraffic) {
+  const auto& d = dataset();
+  const auto yt = *d.catalog().find("YouTube");
+  for (std::size_t u = 0; u < geo::kUrbanizationCount; ++u) {
+    const auto cls = static_cast<geo::Urbanization>(u);
+    // Tiny test countries may genuinely have no TGV commune.
+    if (d.subscribers().total_in(d.territory(), cls) == 0) continue;
+    const auto& series =
+        d.urbanization_series(yt, cls, workload::Direction::kDownlink);
+    double sum = 0.0;
+    for (const double v : series) sum += v;
+    EXPECT_GT(sum, 0.0) << "class " << u;
+  }
+}
+
+TEST_P(ScenarioProperties, SpatialConcentrationIsAlwaysHeavy) {
+  const auto& d = dataset();
+  const auto tw = *d.catalog().find("Twitter");
+  const auto totals = d.commune_totals(tw, workload::Direction::kDownlink);
+  EXPECT_GT(stats::gini(totals), 0.5);
+}
+
+TEST_P(ScenarioProperties, RuralUsersConsumeLessPerCapita) {
+  const auto& d = dataset();
+  if (d.subscribers().total_in(d.territory(), geo::Urbanization::kTgv) == 0) {
+    GTEST_SKIP() << "no TGV communes at this scale";
+  }
+  const UrbanizationReport report =
+      analyze_urbanization(d, workload::Direction::kDownlink);
+  EXPECT_LT(report.mean_volume_ratio(geo::Urbanization::kRural), 0.85);
+  EXPECT_GT(report.mean_volume_ratio(geo::Urbanization::kTgv), 1.3);
+}
+
+TEST_P(ScenarioProperties, DiurnalCycleVisibleNationally) {
+  const auto& d = dataset();
+  const auto yt = *d.catalog().find("YouTube");
+  const auto& series = d.national_series(yt, workload::Direction::kDownlink);
+  double night = 0.0;
+  double day = 0.0;
+  for (std::size_t h = 0; h < series.size(); ++h) {
+    const std::size_t hod = h % 24;
+    if (hod >= 2 && hod < 5) night += series[h];
+    if (hod >= 13 && hod < 16) day += series[h];
+  }
+  EXPECT_GT(day, 2.0 * night);
+}
+
+TEST_P(ScenarioProperties, RegenerationIsBitStable) {
+  const auto& p = GetParam();
+  const TrafficDataset a = TrafficDataset::generate(config_for(p));
+  const TrafficDataset b = TrafficDataset::generate(config_for(p));
+  const auto ig = *a.catalog().find("Instagram");
+  const auto& sa = a.national_series(ig, workload::Direction::kUplink);
+  const auto& sb = b.national_series(ig, workload::Direction::kUplink);
+  for (std::size_t h = 0; h < sa.size(); ++h) {
+    ASSERT_DOUBLE_EQ(sa[h], sb[h]) << h;
+  }
+}
+
+const auto kScenarioCases = ::testing::Values(
+    ScenarioCase{120, 2, 1}, ScenarioCase{300, 3, 2}, ScenarioCase{300, 3, 99},
+    ScenarioCase{600, 5, 3}, ScenarioCase{1000, 6, 4});
+
+std::string scenario_case_name(
+    const ::testing::TestParamInfo<ScenarioCase>& info) {
+  return "c" + std::to_string(info.param.communes) + "_m" +
+         std::to_string(info.param.metros) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(CountryGrid, ScenarioProperties, kScenarioCases,
+                         scenario_case_name);
+
+}  // namespace
+}  // namespace appscope::core

@@ -1,0 +1,112 @@
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appscope::stats {
+namespace {
+
+TEST(Pearson, PerfectLinearRelationships) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg(y);
+  for (double& v : neg) v = -v;
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+  EXPECT_NEAR(pearson_r2(x, neg), 1.0, 1e-12);
+}
+
+TEST(Pearson, AffineInvariance) {
+  util::Rng rng(1);
+  std::vector<double> x(50), y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  const double r = pearson(x, y);
+  std::vector<double> x2(x);
+  for (double& v : x2) v = 3.0 * v + 7.0;
+  EXPECT_NEAR(pearson(x2, y), r, 1e-12);
+}
+
+TEST(Pearson, ConstantVectorGivesZero) {
+  const std::vector<double> x{1, 1, 1, 1};
+  const std::vector<double> y{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(y, x), 0.0);
+}
+
+TEST(Pearson, IndependentSamplesNearZero) {
+  util::Rng rng(2);
+  std::vector<double> x(20000), y(20000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.03);
+}
+
+TEST(Pearson, Preconditions) {
+  EXPECT_THROW(pearson(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               util::PreconditionError);
+  EXPECT_THROW(pearson(std::vector<double>{1, 2}, std::vector<double>{1, 2, 3}),
+               util::PreconditionError);
+}
+
+TEST(Covariance, MatchesHandComputation) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{2, 4, 6};
+  // cov = mean(xy) - mean(x)mean(y) = (2+8+18)/3 - 2*4 = 28/3 - 8.
+  EXPECT_NEAR(covariance(x, y), 28.0 / 3.0 - 8.0, 1e-12);
+}
+
+TEST(Spearman, MonotonicNonlinearIsOne) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{1, 8, 27, 64, 125};  // cubic, monotone
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  // Pearson is below 1 for the same data.
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> x{1, 2, 2, 3};
+  const std::vector<double> y{10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(PairwiseR2, StructureAndSymmetry) {
+  const std::vector<std::vector<double>> vectors{
+      {1, 2, 3, 4}, {2, 4, 6, 8}, {4, 3, 2, 1}};
+  const la::Matrix m = pairwise_r2(vectors);
+  ASSERT_EQ(m.rows(), 3u);
+  EXPECT_NEAR(m(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(m(0, 1), 1.0, 1e-12);  // colinear
+  EXPECT_NEAR(m(0, 2), 1.0, 1e-12);  // anti-colinear, r² still 1
+  EXPECT_DOUBLE_EQ(m(1, 2), m(2, 1));
+  EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(PairwiseR2, RejectsRaggedInput) {
+  EXPECT_THROW(pairwise_r2({{1, 2}, {1, 2, 3}}), util::PreconditionError);
+  EXPECT_THROW(pairwise_r2({}), util::PreconditionError);
+}
+
+TEST(UpperTriangle, ExtractsOffDiagonal) {
+  la::Matrix m(3, 3);
+  m(0, 1) = 1.0;
+  m(0, 2) = 2.0;
+  m(1, 2) = 3.0;
+  const auto tri = upper_triangle(m);
+  EXPECT_EQ(tri, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(mean_off_diagonal(m), 2.0);
+}
+
+TEST(UpperTriangle, RequiresSquare) {
+  EXPECT_THROW(upper_triangle(la::Matrix(2, 3)), util::PreconditionError);
+  EXPECT_THROW(mean_off_diagonal(la::Matrix(1, 1)), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::stats

@@ -1,0 +1,126 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appscope::stats {
+namespace {
+
+const std::vector<double> kSample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(RunningStats, MatchesKnownValues) {
+  RunningStats rs;
+  for (const double x : kSample) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance_population(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.stddev_population(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesBesselCorrection) {
+  RunningStats rs;
+  for (const double x : kSample) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.variance_sample(), 32.0 / 7.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), util::PreconditionError);
+  EXPECT_THROW(rs.min(), util::PreconditionError);
+  rs.add(1.0);
+  EXPECT_THROW(rs.variance_sample(), util::PreconditionError);
+  EXPECT_NO_THROW(rs.variance_population());
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  util::Rng rng(3);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance_population(), whole.variance_population(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats c;
+  a.merge(c);  // merging empty is a no-op
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Descriptive, FreeFunctions) {
+  EXPECT_DOUBLE_EQ(mean(kSample), 5.0);
+  EXPECT_DOUBLE_EQ(variance_population(kSample), 4.0);
+  EXPECT_DOUBLE_EQ(stddev_population(kSample), 2.0);
+  EXPECT_NEAR(variance_sample(kSample), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+  EXPECT_NEAR(quantile(xs, 1.0 / 3.0), 20.0, 1e-12);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), util::PreconditionError);
+  EXPECT_THROW(quantile(kSample, 1.5), util::PreconditionError);
+  EXPECT_THROW(quantile(kSample, -0.1), util::PreconditionError);
+}
+
+TEST(Quantiles, MultipleAtOnceMatchSingle) {
+  const std::vector<double> qs{0.1, 0.5, 0.9};
+  const auto result = quantiles(kSample, qs);
+  ASSERT_EQ(result.size(), 3u);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result[i], quantile(kSample, qs[i]));
+  }
+}
+
+TEST(Skewness, SymmetricIsZeroRightSkewIsPositive) {
+  EXPECT_NEAR(skewness(std::vector<double>{-2.0, -1.0, 0.0, 1.0, 2.0}), 0.0,
+              1e-12);
+  EXPECT_GT(skewness(std::vector<double>{1.0, 1.0, 1.0, 10.0}), 0.0);
+  EXPECT_THROW(skewness(std::vector<double>{1.0, 1.0}), util::PreconditionError);
+}
+
+TEST(CoefficientOfVariation, Basics) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(kSample), 2.0 / 5.0);
+  EXPECT_THROW(coefficient_of_variation(std::vector<double>{1.0, -1.0}),
+               util::PreconditionError);
+}
+
+TEST(PeakToMean, Basics) {
+  EXPECT_DOUBLE_EQ(peak_to_mean(kSample), 9.0 / 5.0);
+  EXPECT_THROW(peak_to_mean(std::vector<double>{0.0, 0.0}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::stats

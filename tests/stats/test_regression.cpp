@@ -1,0 +1,86 @@
+#include "stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appscope::stats {
+namespace {
+
+TEST(Ols, RecoversExactLine) {
+  const std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 3.0 + 2.0 * x[i];
+  const LinearFit fit = ols(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-12);
+  EXPECT_EQ(fit.n, 5u);
+  EXPECT_NEAR(fit.predict(10.0), 23.0, 1e-12);
+}
+
+TEST(Ols, NoisyLineApproximatelyRecovered) {
+  util::Rng rng(4);
+  std::vector<double> x(2000), y(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform(0.0, 10.0);
+    y[i] = -1.5 + 0.8 * x[i] + rng.normal(0.0, 0.2);
+  }
+  const LinearFit fit = ols(x, y);
+  EXPECT_NEAR(fit.slope, 0.8, 0.02);
+  EXPECT_NEAR(fit.intercept, -1.5, 0.05);
+  EXPECT_GT(fit.r2, 0.9);
+  EXPECT_NEAR(fit.rmse, 0.2, 0.03);
+}
+
+TEST(Ols, Preconditions) {
+  EXPECT_THROW(ols(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               util::PreconditionError);
+  EXPECT_THROW(ols(std::vector<double>{2, 2, 2}, std::vector<double>{1, 2, 3}),
+               util::PreconditionError);
+  EXPECT_THROW(ols(std::vector<double>{1, 2}, std::vector<double>{1}),
+               util::PreconditionError);
+}
+
+TEST(OlsThroughOrigin, RecoversPureSlope) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{0.5, 1.0, 1.5};
+  const LinearFit fit = ols_through_origin(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.intercept, 0.0);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(OlsThroughOrigin, SlopeFormula) {
+  // b = Σxy / Σx² even when the data do not pass through the origin.
+  const std::vector<double> x{1, 2};
+  const std::vector<double> y{3, 3};
+  const LinearFit fit = ols_through_origin(x, y);
+  EXPECT_NEAR(fit.slope, (3.0 + 6.0) / (1.0 + 4.0), 1e-12);
+}
+
+TEST(OlsThroughOrigin, UrbanizationRatioUseCase) {
+  // Rural per-user series ≈ 0.5 × urban series (Fig. 11 top behaviour).
+  util::Rng rng(5);
+  std::vector<double> urban(168), rural(168);
+  for (std::size_t h = 0; h < 168; ++h) {
+    urban[h] = 10.0 + 5.0 * std::sin(static_cast<double>(h) / 24.0 * 6.28);
+    rural[h] = 0.5 * urban[h] * (1.0 + 0.02 * rng.normal());
+  }
+  EXPECT_NEAR(ols_through_origin(urban, rural).slope, 0.5, 0.01);
+}
+
+TEST(OlsThroughOrigin, Preconditions) {
+  EXPECT_THROW(ols_through_origin(std::vector<double>{}, std::vector<double>{}),
+               util::PreconditionError);
+  EXPECT_THROW(ols_through_origin(std::vector<double>{0, 0},
+                                  std::vector<double>{1, 2}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::stats

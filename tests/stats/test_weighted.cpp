@@ -1,0 +1,73 @@
+#include "stats/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appscope::stats {
+namespace {
+
+TEST(WeightedMean, MatchesHandComputation) {
+  const std::vector<double> values{1.0, 2.0, 10.0};
+  const std::vector<double> weights{1.0, 1.0, 8.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(values, weights), 83.0 / 10.0);
+}
+
+TEST(WeightedMean, UniformWeightsReduceToPlainMean) {
+  util::Rng rng(1);
+  std::vector<double> values(200);
+  for (double& v : values) v = rng.normal(3.0, 2.0);
+  const std::vector<double> weights(values.size(), 0.7);
+  EXPECT_NEAR(weighted_mean(values, weights), mean(values), 1e-12);
+}
+
+TEST(WeightedQuantile, StepBehaviour) {
+  const std::vector<double> values{10.0, 20.0, 30.0};
+  const std::vector<double> weights{1.0, 1.0, 8.0};
+  // 80% of the weight sits on 30.
+  EXPECT_DOUBLE_EQ(weighted_quantile(values, weights, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile(values, weights, 0.1), 10.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile(values, weights, 0.2), 20.0);
+  EXPECT_DOUBLE_EQ(weighted_quantile(values, weights, 1.0), 30.0);
+}
+
+TEST(WeightedQuantile, OrderIndependent) {
+  const std::vector<double> values{30.0, 10.0, 20.0};
+  const std::vector<double> weights{8.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_median(values, weights), 30.0);
+}
+
+TEST(WeightedQuantile, ZeroWeightSamplesIgnoredAtQuantiles) {
+  const std::vector<double> values{1.0, 100.0, 2.0};
+  const std::vector<double> weights{1.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_quantile(values, weights, 0.9), 2.0);
+}
+
+TEST(WeightedStats, CommuneVsSubscriberView) {
+  // The use case: commune-level per-user traffic where a metropolis holds
+  // most subscribers. The commune-median is small, the subscriber-median
+  // follows the metropolis.
+  const std::vector<double> per_user{5.0, 6.0, 4.0, 100.0};   // 3 villages + city
+  const std::vector<double> subscribers{100, 150, 120, 90000};
+  EXPECT_LE(weighted_quantile(per_user, std::vector<double>(4, 1.0), 0.5), 6.0);
+  EXPECT_DOUBLE_EQ(weighted_median(per_user, subscribers), 100.0);
+}
+
+TEST(WeightedStats, Preconditions) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(weighted_mean(v, std::vector<double>{1.0}),
+               util::PreconditionError);
+  EXPECT_THROW(weighted_mean(std::vector<double>{}, std::vector<double>{}),
+               util::PreconditionError);
+  EXPECT_THROW(weighted_mean(v, std::vector<double>{1.0, -1.0}),
+               util::PreconditionError);
+  EXPECT_THROW(weighted_mean(v, std::vector<double>{0.0, 0.0}),
+               util::PreconditionError);
+  EXPECT_THROW(weighted_quantile(v, std::vector<double>{1.0, 1.0}, 1.5),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::stats

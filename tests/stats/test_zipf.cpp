@@ -1,0 +1,83 @@
+#include "stats/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appscope::stats {
+namespace {
+
+std::vector<double> zipf_series(std::size_t n, double s, double scale = 1.0) {
+  std::vector<double> out(n);
+  for (std::size_t r = 1; r <= n; ++r) {
+    out[r - 1] = scale * std::pow(static_cast<double>(r), -s);
+  }
+  return out;
+}
+
+TEST(RankSizes, SortsDescendingAndDropsNonPositive) {
+  const auto ranked = rank_sizes(std::vector<double>{3.0, 0.0, 7.0, -1.0, 5.0});
+  EXPECT_EQ(ranked, (std::vector<double>{7.0, 5.0, 3.0}));
+}
+
+TEST(FitZipf, RecoversExactExponent) {
+  const auto series = zipf_series(100, 1.69, 42.0);
+  const ZipfFit fit = fit_zipf(series, 1, 100);
+  EXPECT_NEAR(fit.exponent, 1.69, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(1), 42.0, 1e-6);
+  EXPECT_NEAR(fit.predict(10), 42.0 * std::pow(10.0, -1.69), 1e-6);
+}
+
+TEST(FitZipf, UplinkExponentToo) {
+  const auto series = zipf_series(500, 1.55);
+  const ZipfFit fit = fit_zipf_top_half(series);
+  EXPECT_NEAR(fit.exponent, 1.55, 1e-9);
+  EXPECT_EQ(fit.ranks_used, 250u);
+}
+
+TEST(FitZipf, NoisyDataStillClose) {
+  util::Rng rng(8);
+  auto series = zipf_series(200, 1.69);
+  for (double& v : series) v *= rng.lognormal(0.0, 0.1);
+  // Re-sort: noise can reorder neighbouring ranks.
+  const auto ranked = rank_sizes(series);
+  const ZipfFit fit = fit_zipf_top_half(ranked);
+  EXPECT_NEAR(fit.exponent, 1.69, 0.15);
+  EXPECT_GT(fit.r2, 0.97);
+}
+
+TEST(FitZipf, WindowValidation) {
+  const auto series = zipf_series(10, 1.0);
+  EXPECT_THROW(fit_zipf(series, 0, 5), util::PreconditionError);
+  EXPECT_THROW(fit_zipf(series, 5, 4), util::PreconditionError);
+  EXPECT_THROW(fit_zipf(series, 1, 11), util::PreconditionError);
+  EXPECT_THROW(fit_zipf_top_half(zipf_series(3, 1.0)), util::PreconditionError);
+}
+
+TEST(TailCutoffRatio, PureZipfIsNearOne) {
+  const auto series = zipf_series(100, 1.5);
+  const ZipfFit fit = fit_zipf_top_half(series);
+  EXPECT_NEAR(tail_cutoff_ratio(series, fit), 1.0, 0.05);
+}
+
+TEST(TailCutoffRatio, DetectsBottomHalfBreak) {
+  auto series = zipf_series(100, 1.5);
+  // Impose a sharp cutoff on the bottom half, like Fig. 2.
+  for (std::size_t r = 51; r <= 100; ++r) {
+    series[r - 1] *= std::exp(-static_cast<double>(r - 50) / 5.0);
+  }
+  const ZipfFit fit = fit_zipf_top_half(series);
+  EXPECT_LT(tail_cutoff_ratio(series, fit), 0.01);
+}
+
+TEST(ZipfFit, PredictRejectsRankZero) {
+  ZipfFit fit;
+  EXPECT_THROW(fit.predict(0), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::stats

@@ -1,0 +1,172 @@
+#include "synth/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/simulator.hpp"
+#include "stats/correlation.hpp"
+#include "synth/scenario.hpp"
+#include "util/error.hpp"
+
+namespace appscope::synth {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest()
+      : config_(ScenarioConfig::test_scale()),
+        territory_(geo::build_synthetic_country(config_.country)),
+        subscribers_(territory_, config_.population),
+        catalog_(workload::ServiceCatalog::paper_services()) {}
+
+  ScenarioConfig config_;
+  geo::Territory territory_;
+  workload::SubscriberBase subscribers_;
+  workload::ServiceCatalog catalog_;
+};
+
+TEST_F(GeneratorTest, StreamsFullWeekForEveryUsableService) {
+  const AnalyticGenerator gen(territory_, subscribers_, catalog_,
+                              config_.traffic_seed, 0.0);
+  TotalsSink totals;
+  NationalSeriesSink national(catalog_.size());
+  FanoutSink fan({&totals, &national});
+  gen.generate(fan);
+
+  EXPECT_GT(totals.total(), 0.0);
+  // YouTube (universal service) must produce traffic in every hour.
+  const auto yt = *catalog_.find("YouTube");
+  for (std::size_t h = 0; h < ts::kHoursPerWeek; ++h) {
+    EXPECT_GT(national.series(yt, workload::Direction::kDownlink)[h], 0.0) << h;
+  }
+}
+
+TEST_F(GeneratorTest, DeterministicForSeed) {
+  const AnalyticGenerator gen(territory_, subscribers_, catalog_,
+                              config_.traffic_seed, 0.05);
+  TotalsSink a;
+  gen.generate(a);
+  TotalsSink b;
+  gen.generate(b);
+  EXPECT_DOUBLE_EQ(a.total(), b.total());
+}
+
+TEST_F(GeneratorTest, NoisePreservesMeanVolume) {
+  const AnalyticGenerator noiseless(territory_, subscribers_, catalog_,
+                                    config_.traffic_seed, 0.0);
+  const AnalyticGenerator noisy(territory_, subscribers_, catalog_,
+                                config_.traffic_seed, 0.3);
+  TotalsSink a;
+  noiseless.generate(a);
+  TotalsSink b;
+  noisy.generate(b);
+  EXPECT_NEAR(b.total() / a.total(), 1.0, 0.02);
+}
+
+TEST_F(GeneratorTest, ExpectedPerUserRateIsDeterministicAndGated) {
+  const AnalyticGenerator gen(territory_, subscribers_, catalog_,
+                              config_.traffic_seed, 0.0);
+  const auto netflix = *catalog_.find("Netflix");
+  std::size_t gated = 0;
+  for (geo::CommuneId c = 0; c < territory_.size(); ++c) {
+    const double r =
+        gen.expected_weekly_per_user(netflix, c, workload::Direction::kDownlink);
+    EXPECT_DOUBLE_EQ(r, gen.expected_weekly_per_user(
+                            netflix, c, workload::Direction::kDownlink));
+    if (r == 0.0) ++gated;
+    if (!territory_.commune(c).has_4g) EXPECT_DOUBLE_EQ(r, 0.0);
+  }
+  EXPECT_GT(gated, territory_.size() / 4);  // Netflix absent from many communes
+}
+
+TEST_F(GeneratorTest, UplinkShareMatchesCatalogDesign) {
+  const AnalyticGenerator gen(territory_, subscribers_, catalog_,
+                              config_.traffic_seed, 0.0);
+  TotalsSink totals;
+  gen.generate(totals);
+  EXPECT_NEAR(totals.uplink() / totals.total(), 1.0 / 21.0, 0.015);
+}
+
+TEST_F(GeneratorTest, TgvCommunesFollowTrainSchedule) {
+  const AnalyticGenerator gen(territory_, subscribers_, catalog_,
+                              config_.traffic_seed, 0.0);
+  UrbanizationSeriesSink sink(catalog_.size());
+  gen.generate(sink);
+  const auto yt = *catalog_.find("YouTube");
+  const auto& tgv =
+      sink.series(yt, geo::Urbanization::kTgv, workload::Direction::kDownlink);
+  const auto& urban =
+      sink.series(yt, geo::Urbanization::kUrban, workload::Direction::kDownlink);
+  // Overnight share of traffic is much lower on TGV than in cities.
+  auto night_share = [](const std::vector<double>& s) {
+    double night = 0.0;
+    double total = 0.0;
+    for (std::size_t h = 0; h < s.size(); ++h) {
+      total += s[h];
+      const std::size_t hod = h % 24;
+      if (hod < 5) night += s[h];
+    }
+    return night / total;
+  };
+  EXPECT_LT(night_share(tgv), 0.5 * night_share(urban));
+}
+
+TEST_F(GeneratorTest, AgreesWithEventLevelSimulatorOnNationalShape) {
+  // The analytic generator is the large-population limit of the session
+  // simulator: their per-service national weekly *shapes* must correlate.
+  const AnalyticGenerator gen(territory_, subscribers_, catalog_,
+                              config_.traffic_seed, 0.0);
+  NationalSeriesSink analytic(catalog_.size());
+  gen.generate(analytic);
+
+  net::BaseStationRegistry cells(territory_, {});
+  net::DpiEngine dpi(catalog_);
+  net::SessionSimConfig sim_cfg;
+  sim_cfg.session_thinning = 0.02;
+  sim_cfg.fingerprint_visible_fraction = 1.0;  // compare classified volumes
+  sim_cfg.seed = config_.traffic_seed;
+  net::SessionSimulator sim(territory_, subscribers_, catalog_, cells, dpi,
+                            sim_cfg);
+  NationalSeriesSink event(catalog_.size());
+  sim.run([&event, this](const net::UsageRecord& r) {
+    if (!r.service) return;
+    TrafficCell cell;
+    cell.service = *r.service;
+    cell.commune = r.commune;
+    cell.week_hour = r.week_hour;
+    cell.urbanization = territory_.commune(r.commune).urbanization;
+    cell.downlink_bytes = static_cast<double>(r.downlink_bytes);
+    cell.uplink_bytes = static_cast<double>(r.uplink_bytes);
+    event.consume(cell);
+  });
+
+  const auto yt = *catalog_.find("YouTube");
+  const double r2 = stats::pearson_r2(
+      analytic.series(yt, workload::Direction::kDownlink),
+      event.series(yt, workload::Direction::kDownlink));
+  EXPECT_GT(r2, 0.8);
+
+  // And total volumes agree within sampling error.
+  double analytic_total = 0.0;
+  double event_total = 0.0;
+  for (const double v : analytic.series(yt, workload::Direction::kDownlink)) {
+    analytic_total += v;
+  }
+  for (const double v : event.series(yt, workload::Direction::kDownlink)) {
+    event_total += v;
+  }
+  EXPECT_NEAR(event_total / analytic_total, 1.0, 0.15);
+}
+
+TEST_F(GeneratorTest, ConstructionValidation) {
+  EXPECT_THROW(AnalyticGenerator(territory_, subscribers_, catalog_, 1, -0.1),
+               util::PreconditionError);
+}
+
+TEST(ScenarioConfig, PresetsScaleAsDocumented) {
+  EXPECT_EQ(ScenarioConfig::test_scale().country.commune_count, 400u);
+  EXPECT_EQ(ScenarioConfig::example_scale().country.commune_count, 4'000u);
+  EXPECT_EQ(ScenarioConfig::paper_scale().country.commune_count, 36'000u);
+}
+
+}  // namespace
+}  // namespace appscope::synth

@@ -1,0 +1,91 @@
+#include "ts/autocorrelation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appscope::ts {
+namespace {
+
+std::vector<double> periodic(std::size_t n, double period, double noise,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / period) +
+             noise * rng.normal();
+  }
+  return out;
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const auto acf = autocorrelation(periodic(200, 24.0, 0.1, 1), 50);
+  ASSERT_EQ(acf.size(), 51u);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+  for (const double r : acf) {
+    EXPECT_LE(r, 1.0 + 1e-12);
+    EXPECT_GE(r, -1.0 - 1e-12);
+  }
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtItsPeriod) {
+  const auto series = periodic(336, 24.0, 0.05, 2);
+  const auto acf = autocorrelation(series, 48);
+  EXPECT_GT(acf[24], 0.9);
+  EXPECT_LT(acf[12], 0.0);  // antiphase at half the period
+}
+
+TEST(Autocorrelation, WhiteNoiseDecorrelates) {
+  util::Rng rng(3);
+  std::vector<double> noise(2000);
+  for (double& v : noise) v = rng.normal();
+  const auto acf = autocorrelation(noise, 20);
+  for (std::size_t k = 1; k <= 20; ++k) {
+    EXPECT_NEAR(acf[k], 0.0, 0.08) << k;
+  }
+}
+
+TEST(Autocorrelation, Preconditions) {
+  EXPECT_THROW(autocorrelation(std::vector<double>{1.0, 2.0}, 2),
+               util::PreconditionError);
+  EXPECT_THROW(autocorrelation(std::vector<double>(50, 3.0), 10),
+               util::PreconditionError);
+}
+
+TEST(DominantPeriod, FindsTheGeneratingPeriod) {
+  for (const double period : {12.0, 24.0, 42.0}) {
+    const auto series = periodic(336, period, 0.05, 7);
+    EXPECT_EQ(dominant_period(series, 6, 84),
+              static_cast<std::size_t>(period))
+        << period;
+  }
+}
+
+TEST(DominantPeriod, WindowValidation) {
+  const auto series = periodic(100, 24.0, 0.0, 1);
+  EXPECT_THROW(dominant_period(series, 0, 10), util::PreconditionError);
+  EXPECT_THROW(dominant_period(series, 20, 10), util::PreconditionError);
+  EXPECT_THROW(dominant_period(series, 10, 100), util::PreconditionError);
+}
+
+TEST(SeasonalityStrength, StrongForCleanPeriodicWeakForNoise) {
+  // Sample ACF carries the (n-k)/n truncation bias: ~0.93 at lag 24/n=336.
+  EXPECT_GT(seasonality_strength(periodic(336, 24.0, 0.02, 4), 24), 0.9);
+  util::Rng rng(5);
+  std::vector<double> noise(336);
+  for (double& v : noise) v = rng.normal();
+  EXPECT_LT(seasonality_strength(noise, 24), 0.2);
+  EXPECT_GE(seasonality_strength(noise, 24), 0.0);  // clamped at zero
+}
+
+TEST(SeasonalityStrength, PeriodValidation) {
+  const auto series = periodic(100, 24.0, 0.0, 1);
+  EXPECT_THROW(seasonality_strength(series, 0), util::PreconditionError);
+  EXPECT_THROW(seasonality_strength(series, 100), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::ts

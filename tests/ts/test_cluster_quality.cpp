@@ -1,0 +1,126 @@
+#include "ts/cluster_quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/vector_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appscope::ts {
+namespace {
+
+const DistanceFn kEuclidean = [](std::span<const double> a,
+                                 std::span<const double> b) {
+  return la::distance(a, b);
+};
+
+/// Two tight, well-separated 1-D clusters around 0 and 100.
+struct TightClusters {
+  std::vector<std::vector<double>> data{{0.0}, {1.0}, {0.5}, {100.0}, {101.0},
+                                        {100.5}};
+  std::vector<std::size_t> good{0, 0, 0, 1, 1, 1};
+  std::vector<std::size_t> bad{0, 1, 0, 1, 0, 1};  // interleaved
+  ClusteringView good_view() const {
+    return {good, {{0.5}, {100.5}}};
+  }
+  ClusteringView bad_view() const {
+    return {bad, {{33.5}, {67.3}}};
+  }
+};
+
+TEST(Silhouette, GoodClusteringNearOne) {
+  const TightClusters t;
+  EXPECT_GT(silhouette(t.data, t.good, kEuclidean), 0.95);
+}
+
+TEST(Silhouette, BadClusteringIsWorse) {
+  const TightClusters t;
+  const double good = silhouette(t.data, t.good, kEuclidean);
+  const double bad = silhouette(t.data, t.bad, kEuclidean);
+  EXPECT_LT(bad, good);
+  EXPECT_LT(bad, 0.2);
+}
+
+TEST(Silhouette, SingletonClustersContributeZero) {
+  const std::vector<std::vector<double>> data{{0.0}, {10.0}};
+  const std::vector<std::size_t> assignments{0, 1};
+  EXPECT_DOUBLE_EQ(silhouette(data, assignments, kEuclidean), 0.0);
+}
+
+TEST(Silhouette, RequiresTwoClusters) {
+  const std::vector<std::vector<double>> data{{0.0}, {1.0}};
+  EXPECT_THROW(silhouette(data, {0, 0}, kEuclidean), util::PreconditionError);
+}
+
+TEST(Dunn, WellSeparatedIsLarge) {
+  const TightClusters t;
+  const double d = dunn_index(t.data, t.good, kEuclidean);
+  // Separation 99, max diameter 1 -> Dunn ~ 99.
+  EXPECT_GT(d, 50.0);
+}
+
+TEST(Dunn, InterleavedIsSmall) {
+  const TightClusters t;
+  EXPECT_LT(dunn_index(t.data, t.bad, kEuclidean), 0.1);
+}
+
+TEST(Dunn, AllPointsIdenticalGivesInfinity) {
+  const std::vector<std::vector<double>> data{{1.0}, {1.0}, {1.0}, {1.0}};
+  const double d = dunn_index(data, {0, 0, 1, 1}, kEuclidean);
+  EXPECT_TRUE(std::isinf(d));
+}
+
+TEST(DaviesBouldin, GoodClusteringIsSmall) {
+  const TightClusters t;
+  const double good = davies_bouldin(t.data, t.good_view(), kEuclidean);
+  const double bad = davies_bouldin(t.data, t.bad_view(), kEuclidean);
+  EXPECT_LT(good, 0.05);
+  EXPECT_GT(bad, good * 10.0);
+}
+
+TEST(DaviesBouldinStar, GoodClusteringIsSmallAndAtLeastDb) {
+  const TightClusters t;
+  const double db = davies_bouldin(t.data, t.good_view(), kEuclidean);
+  const double dbstar = davies_bouldin_star(t.data, t.good_view(), kEuclidean);
+  EXPECT_LT(dbstar, 0.05);
+  // DB* >= DB by construction (max numerator over min denominator).
+  EXPECT_GE(dbstar, db - 1e-12);
+}
+
+TEST(DaviesBouldin, ThreeClustersHandComputed) {
+  // Clusters at 0, 10, 30 with scatter 1 each.
+  const std::vector<std::vector<double>> data{{-1.0}, {1.0}, {9.0},
+                                              {11.0}, {29.0}, {31.0}};
+  const ClusteringView view{{0, 0, 1, 1, 2, 2}, {{0.0}, {10.0}, {30.0}}};
+  // S_i = 1 for all i. R01 = 2/10, R02 = 2/30, R12 = 2/20.
+  // DB = mean(max(R0j), max(R1j), max(R2j)) = mean(0.2, 0.2, 0.1) = 1/6.
+  EXPECT_NEAR(davies_bouldin(data, view, kEuclidean), 1.0 / 6.0, 1e-12);
+  // DB* uses max(Si+Sj)=2 over min separation: (2/10 + 2/10 + 2/20)/3 = 1/6.
+  EXPECT_NEAR(davies_bouldin_star(data, view, kEuclidean), 1.0 / 6.0, 1e-12);
+}
+
+TEST(QualityIndices, EvaluateAllAgreesWithIndividual) {
+  const TightClusters t;
+  const QualityIndices q = evaluate_quality(t.data, t.good_view(), kEuclidean);
+  EXPECT_DOUBLE_EQ(q.silhouette, silhouette(t.data, t.good, kEuclidean));
+  EXPECT_DOUBLE_EQ(q.dunn, dunn_index(t.data, t.good, kEuclidean));
+  EXPECT_DOUBLE_EQ(q.davies_bouldin,
+                   davies_bouldin(t.data, t.good_view(), kEuclidean));
+  EXPECT_DOUBLE_EQ(q.davies_bouldin_star,
+                   davies_bouldin_star(t.data, t.good_view(), kEuclidean));
+}
+
+TEST(QualityIndices, ValidationErrors) {
+  const TightClusters t;
+  ClusteringView bad_view{{0, 0, 0, 0, 0, 5}, {{0.0}, {1.0}}};
+  EXPECT_THROW(davies_bouldin(t.data, bad_view, kEuclidean),
+               util::PreconditionError);
+  ClusteringView empty_centroids{{0, 0, 0, 0, 0, 0}, {}};
+  EXPECT_THROW(davies_bouldin(t.data, empty_centroids, kEuclidean),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::ts

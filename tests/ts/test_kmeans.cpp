@@ -1,0 +1,118 @@
+#include "ts/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/vector_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appscope::ts {
+namespace {
+
+std::vector<std::vector<double>> blobs(util::Rng& rng, std::size_t per_blob) {
+  std::vector<std::vector<double>> points;
+  const std::vector<std::vector<double>> centers{
+      {0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (const auto& c : centers) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      points.push_back({c[0] + rng.normal(0.0, 0.5), c[1] + rng.normal(0.0, 0.5)});
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, SeparatesThreeBlobs) {
+  util::Rng rng(1);
+  const auto points = blobs(rng, 20);
+  KMeansOptions opts;
+  opts.k = 3;
+  const KMeansResult result = kmeans(points, opts);
+  ASSERT_EQ(result.assignments.size(), 60u);
+  // Points within a blob share a cluster.
+  for (std::size_t blob = 0; blob < 3; ++blob) {
+    const std::size_t first = result.assignments[blob * 20];
+    for (std::size_t i = 1; i < 20; ++i) {
+      EXPECT_EQ(result.assignments[blob * 20 + i], first) << blob << ":" << i;
+    }
+  }
+  // And blobs are pairwise distinct.
+  EXPECT_NE(result.assignments[0], result.assignments[20]);
+  EXPECT_NE(result.assignments[20], result.assignments[40]);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(KMeans, CentroidsNearTrueCenters) {
+  util::Rng rng(2);
+  const auto points = blobs(rng, 50);
+  KMeansOptions opts;
+  opts.k = 3;
+  const KMeansResult result = kmeans(points, opts);
+  // Each true center has a centroid within 0.5.
+  for (const auto& center : {std::vector<double>{0, 0},
+                             std::vector<double>{10, 0},
+                             std::vector<double>{0, 10}}) {
+    double best = 1e9;
+    for (const auto& c : result.centroids) {
+      best = std::min(best, la::distance(center, c));
+    }
+    EXPECT_LT(best, 0.5);
+  }
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  util::Rng rng(3);
+  const auto points = blobs(rng, 10);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 5;
+  const KMeansResult a = kmeans(points, opts);
+  const KMeansResult b = kmeans(points, opts);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, InertiaMonotoneInK) {
+  util::Rng rng(4);
+  const auto points = blobs(rng, 15);
+  double prev = std::numeric_limits<double>::infinity();
+  for (const std::size_t k : {1u, 2u, 3u, 6u}) {
+    KMeansOptions opts;
+    opts.k = k;
+    opts.restarts = 6;
+    const double inertia = kmeans(points, opts).inertia;
+    EXPECT_LE(inertia, prev + 1e-9);
+    prev = inertia;
+  }
+}
+
+TEST(KMeans, KEqualsNZeroInertia) {
+  const std::vector<std::vector<double>> points{{0.0}, {5.0}, {9.0}};
+  KMeansOptions opts;
+  opts.k = 3;
+  const KMeansResult result = kmeans(points, opts);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, DuplicatePointsHandled) {
+  const std::vector<std::vector<double>> points(6, std::vector<double>{1.0, 1.0});
+  KMeansOptions opts;
+  opts.k = 2;
+  const KMeansResult result = kmeans(points, opts);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, Preconditions) {
+  const std::vector<std::vector<double>> points{{1.0}, {2.0}};
+  KMeansOptions opts;
+  opts.k = 3;
+  EXPECT_THROW(kmeans(points, opts), util::PreconditionError);
+  opts.k = 1;
+  opts.restarts = 0;
+  EXPECT_THROW(kmeans(points, opts), util::PreconditionError);
+  EXPECT_THROW(kmeans({}, KMeansOptions{}), util::PreconditionError);
+  EXPECT_THROW(kmeans({{1.0}, {1.0, 2.0}}, KMeansOptions{.k = 1}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::ts

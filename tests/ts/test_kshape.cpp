@@ -1,0 +1,229 @@
+#include "ts/kshape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/vector_ops.hpp"
+#include "ts/sbd.hpp"
+#include "ts/znorm.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appscope::ts {
+namespace {
+
+std::vector<double> sine(std::size_t n, double period, double phase,
+                         double noise, util::Rng& rng) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::sin(2.0 * M_PI * (static_cast<double>(i) / period) + phase) +
+             noise * rng.normal();
+  }
+  return out;
+}
+
+std::vector<double> square(std::size_t n, double period, double noise,
+                           util::Rng& rng) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = std::fmod(static_cast<double>(i), period) / period;
+    out[i] = (t < 0.5 ? 1.0 : -1.0) + noise * rng.normal();
+  }
+  return out;
+}
+
+/// Two clearly distinct shape families with random phases and mild noise.
+std::vector<std::vector<double>> two_family_dataset(std::size_t per_family,
+                                                    util::Rng& rng) {
+  std::vector<std::vector<double>> series;
+  for (std::size_t i = 0; i < per_family; ++i) {
+    series.push_back(sine(96, 24.0, rng.uniform(0.0, 1.0), 0.05, rng));
+  }
+  for (std::size_t i = 0; i < per_family; ++i) {
+    series.push_back(square(96, 48.0, 0.05, rng));
+  }
+  return series;
+}
+
+TEST(ShapeExtract, SingleMemberRecoversItsShape) {
+  util::Rng rng(1);
+  const auto member = sine(64, 16.0, 0.3, 0.0, rng);
+  const auto centroid = shape_extract({member}, {});
+  // The extracted shape matches the z-normalized member up to SBD ~ 0.
+  const auto z = znormalize(std::span<const double>(member));
+  EXPECT_NEAR(sbd_distance(z, centroid), 0.0, 1e-6);
+}
+
+TEST(ShapeExtract, CentroidIsZNormalizedUnitShape) {
+  util::Rng rng(2);
+  std::vector<std::vector<double>> members;
+  for (int i = 0; i < 5; ++i) members.push_back(sine(48, 12.0, 0.1, 0.1, rng));
+  const auto centroid = shape_extract(members, {});
+  EXPECT_TRUE(is_znormalized(centroid, 1e-6));
+}
+
+TEST(ShapeExtract, CloseToEveryAlignedMember) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> members;
+  for (int i = 0; i < 8; ++i) members.push_back(sine(72, 24.0, 0.2, 0.05, rng));
+  const auto centroid = shape_extract(members, members.front());
+  for (const auto& m : members) {
+    EXPECT_LT(sbd_distance(centroid, znormalize(std::span<const double>(m))),
+              0.1);
+  }
+}
+
+TEST(ShapeExtract, Preconditions) {
+  EXPECT_THROW(shape_extract({}, {}), util::PreconditionError);
+  EXPECT_THROW(shape_extract({{1.0}}, {}), util::PreconditionError);
+  EXPECT_THROW(shape_extract({{1.0, 2.0}, {1.0}}, {}), util::PreconditionError);
+}
+
+TEST(KShape, SeparatesTwoShapeFamilies) {
+  util::Rng rng(4);
+  const auto series = two_family_dataset(6, rng);
+  KShapeOptions opts;
+  opts.k = 2;
+  opts.seed = 11;
+  const KShapeResult result = kshape(series, opts);
+  ASSERT_EQ(result.assignments.size(), 12u);
+  // All sines together, all squares together.
+  for (std::size_t i = 1; i < 6; ++i) {
+    EXPECT_EQ(result.assignments[i], result.assignments[0]) << i;
+  }
+  for (std::size_t i = 7; i < 12; ++i) {
+    EXPECT_EQ(result.assignments[i], result.assignments[6]) << i;
+  }
+  EXPECT_NE(result.assignments[0], result.assignments[6]);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(KShape, PhaseShiftedCopiesClusterTogether) {
+  // The defining property of SBD/k-Shape: time-shifted versions of the same
+  // shape belong together.
+  util::Rng rng(5);
+  std::vector<std::vector<double>> series;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<double> pulse(64, 0.0);
+    const std::size_t at = 8 + static_cast<std::size_t>(rng.uniform_index(20));
+    pulse[at] = 1.0;
+    pulse[at + 1] = 2.0;
+    pulse[at + 2] = 1.0;
+    series.push_back(std::move(pulse));
+  }
+  for (int i = 0; i < 8; ++i) series.push_back(square(64, 32.0, 0.02, rng));
+  KShapeOptions opts;
+  opts.k = 2;
+  const KShapeResult result = kshape(series, opts);
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_EQ(result.assignments[i], result.assignments[0]);
+  }
+  EXPECT_NE(result.assignments[8], result.assignments[0]);
+}
+
+TEST(KShape, KEqualsOneGroupsEverything) {
+  util::Rng rng(6);
+  const auto series = two_family_dataset(3, rng);
+  KShapeOptions opts;
+  opts.k = 1;
+  const KShapeResult result = kshape(series, opts);
+  for (const auto a : result.assignments) EXPECT_EQ(a, 0u);
+  EXPECT_EQ(result.cluster_count(), 1u);
+}
+
+TEST(KShape, KEqualsNGivesNearSingletons) {
+  util::Rng rng(7);
+  const auto series = two_family_dataset(2, rng);
+  KShapeOptions opts;
+  opts.k = series.size();
+  const KShapeResult result = kshape(series, opts);
+  // Every cluster non-empty.
+  std::vector<bool> used(opts.k, false);
+  for (const auto a : result.assignments) used[a] = true;
+  for (std::size_t c = 0; c < opts.k; ++c) EXPECT_TRUE(used[c]) << c;
+}
+
+TEST(KShape, DeterministicForFixedSeed) {
+  util::Rng rng(8);
+  const auto series = two_family_dataset(4, rng);
+  KShapeOptions opts;
+  opts.k = 3;
+  opts.seed = 99;
+  const KShapeResult a = kshape(series, opts);
+  const KShapeResult b = kshape(series, opts);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KShape, InertiaDecreasesWithMoreClusters) {
+  util::Rng rng(9);
+  const auto series = two_family_dataset(5, rng);
+  double prev = std::numeric_limits<double>::infinity();
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    KShapeOptions opts;
+    opts.k = k;
+    const double inertia = kshape(series, opts).inertia;
+    EXPECT_LE(inertia, prev + 1e-9) << "k=" << k;
+    prev = inertia;
+  }
+}
+
+TEST(KShape, MembersHelper) {
+  util::Rng rng(10);
+  const auto series = two_family_dataset(3, rng);
+  KShapeOptions opts;
+  opts.k = 2;
+  const KShapeResult result = kshape(series, opts);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < 2; ++c) total += result.members(c).size();
+  EXPECT_EQ(total, series.size());
+}
+
+TEST(KShape, SurvivesConstantSeries) {
+  // Constant series z-normalize to all-zero shapes; the clusterer must not
+  // crash or divide by zero, and every series must land in a valid cluster.
+  std::vector<std::vector<double>> series(6, std::vector<double>(24, 3.0));
+  series[4] = std::vector<double>(24, 0.0);
+  util::Rng rng(3);
+  for (std::size_t h = 0; h < 24; ++h) {
+    series[5][h] = std::sin(static_cast<double>(h)) + 0.1 * rng.normal();
+  }
+  KShapeOptions opts;
+  opts.k = 2;
+  const KShapeResult result = kshape(series, opts);
+  ASSERT_EQ(result.assignments.size(), 6u);
+  for (const auto a : result.assignments) EXPECT_LT(a, 2u);
+}
+
+TEST(KShape, DuplicateSeriesShareACluster) {
+  util::Rng rng(11);
+  std::vector<std::vector<double>> series;
+  std::vector<double> base(48);
+  for (std::size_t h = 0; h < base.size(); ++h) {
+    base[h] = std::sin(2.0 * M_PI * static_cast<double>(h) / 12.0);
+  }
+  for (int i = 0; i < 4; ++i) series.push_back(base);
+  for (int i = 0; i < 4; ++i) series.push_back(square(48, 24.0, 0.02, rng));
+  KShapeOptions opts;
+  opts.k = 2;
+  const KShapeResult result = kshape(series, opts);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(result.assignments[i], result.assignments[0]);
+  }
+}
+
+TEST(KShape, Preconditions) {
+  const std::vector<std::vector<double>> series{{1.0, 2.0, 3.0}, {2.0, 3.0, 4.0}};
+  KShapeOptions opts;
+  opts.k = 3;  // k > n
+  EXPECT_THROW(kshape(series, opts), util::PreconditionError);
+  opts.k = 0;
+  EXPECT_THROW(kshape(series, opts), util::PreconditionError);
+  EXPECT_THROW(kshape({}, KShapeOptions{}), util::PreconditionError);
+  EXPECT_THROW(kshape({{1.0, 2.0}, {1.0}}, KShapeOptions{.k = 1}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace appscope::ts

@@ -1,0 +1,108 @@
+#include "ts/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appscope::ts {
+namespace {
+
+TEST(TimeSeries, ConstructionAndBasicStats) {
+  const TimeSeries s({1.0, 2.0, 3.0, 4.0}, "test");
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.label(), "test");
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s[2], 3.0);
+  EXPECT_THROW(s.at(4), util::PreconditionError);
+}
+
+TEST(TimeSeries, Zeros) {
+  const TimeSeries z = TimeSeries::zeros(5, "z");
+  EXPECT_EQ(z.size(), 5u);
+  EXPECT_DOUBLE_EQ(z.sum(), 0.0);
+}
+
+TEST(TimeSeries, Arithmetic) {
+  const TimeSeries a({1.0, 2.0});
+  const TimeSeries b({3.0, 5.0});
+  EXPECT_DOUBLE_EQ((a + b)[1], 7.0);
+  EXPECT_DOUBLE_EQ((b - a)[0], 2.0);
+  EXPECT_DOUBLE_EQ((a * 3.0)[1], 6.0);
+  TimeSeries c = a;
+  c += b;
+  EXPECT_DOUBLE_EQ(c[0], 4.0);
+  EXPECT_THROW(a + TimeSeries({1.0}), util::PreconditionError);
+}
+
+TEST(TimeSeries, NormalizedToUnitSum) {
+  const TimeSeries s({1.0, 3.0});
+  const TimeSeries n = s.normalized_to_unit_sum();
+  EXPECT_DOUBLE_EQ(n.sum(), 1.0);
+  EXPECT_DOUBLE_EQ(n[1], 0.75);
+  EXPECT_THROW(TimeSeries({0.0, 0.0}).normalized_to_unit_sum(),
+               util::PreconditionError);
+}
+
+TEST(TimeSeries, MovingAverageSmooths) {
+  const TimeSeries s({0.0, 0.0, 10.0, 0.0, 0.0});
+  const TimeSeries smooth = s.moving_average(1);
+  EXPECT_DOUBLE_EQ(smooth[2], 10.0 / 3.0);
+  EXPECT_DOUBLE_EQ(smooth[1], 10.0 / 3.0);
+  EXPECT_DOUBLE_EQ(smooth[0], 0.0);
+  // Total is not exactly preserved at edges, but interior mass is.
+  const TimeSeries id = s.moving_average(0);
+  EXPECT_DOUBLE_EQ(id[2], 10.0);
+}
+
+TEST(TimeSeries, Downsample) {
+  const TimeSeries s({1.0, 3.0, 5.0, 7.0});
+  const TimeSeries d = s.downsample(2);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 6.0);
+  EXPECT_THROW(s.downsample(3), util::PreconditionError);
+  EXPECT_THROW(s.downsample(0), util::PreconditionError);
+}
+
+TEST(TimeSeries, Slice) {
+  const TimeSeries s({0.0, 1.0, 2.0, 3.0}, "lbl");
+  const TimeSeries part = s.slice(1, 2);
+  ASSERT_EQ(part.size(), 2u);
+  EXPECT_DOUBLE_EQ(part[0], 1.0);
+  EXPECT_EQ(part.label(), "lbl");
+  EXPECT_THROW(s.slice(3, 2), util::PreconditionError);
+}
+
+TEST(TimeSeries, WeeklyHelpers) {
+  const TimeSeries weekly =
+      make_weekly([](std::size_t h) { return static_cast<double>(h); }, "w");
+  EXPECT_EQ(weekly.size(), kHoursPerWeek);
+  // Saturday total: hours 0..23 -> sum = 276.
+  EXPECT_DOUBLE_EQ(weekly.day_total(Day::kSaturday), 276.0);
+  // Monday total: hours 48..71.
+  EXPECT_DOUBLE_EQ(weekly.day_total(Day::kMonday),
+                   (48.0 + 71.0) * 24.0 / 2.0);
+  EXPECT_THROW(TimeSeries({1.0}).day_total(Day::kMonday),
+               util::PreconditionError);
+}
+
+TEST(TimeSeries, MeanDailyProfile) {
+  // 1 during weekend hours, 2 during weekdays.
+  const TimeSeries weekly = make_weekly(
+      [](std::size_t h) { return h < 48 ? 1.0 : 2.0; });
+  const auto weekend = weekly.mean_daily_profile(true);
+  const auto weekday = weekly.mean_daily_profile(false);
+  ASSERT_EQ(weekend.size(), kHoursPerDay);
+  for (std::size_t h = 0; h < kHoursPerDay; ++h) {
+    EXPECT_DOUBLE_EQ(weekend[h], 1.0);
+    EXPECT_DOUBLE_EQ(weekday[h], 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace appscope::ts

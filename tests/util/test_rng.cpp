@@ -1,0 +1,239 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace appscope::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkedStreamsAreIndependentOfParentProgress) {
+  Rng parent(7);
+  Rng child1 = parent.fork(1);
+  // Advancing the parent must not change what a same-tag fork *of the
+  // original state* would have produced — forks depend only on state+tag.
+  const std::uint64_t first = child1.next_u64();
+  Rng parent2(7);
+  Rng child2 = parent2.fork(1);
+  EXPECT_EQ(first, child2.next_u64());
+}
+
+TEST(Rng, ForkTagsProduceDistinctStreams) {
+  Rng parent(7);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexIsUnbiasedAcrossSmallRange) {
+  Rng rng(3);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, 5.0 * std::sqrt(n / 7.0));
+  }
+}
+
+TEST(Rng, NormalHasCorrectMoments) {
+  Rng rng(4);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParametersScales) {
+  Rng rng(5);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanMatchesTheory) {
+  Rng rng(6);
+  const double sigma = 0.8;
+  const double mu = -0.5 * sigma * sigma;  // unit-mean construction
+  const int n = 300000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(mu, sigma);
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(7);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.005);
+}
+
+TEST(Rng, PoissonSmallLambdaMean) {
+  Rng rng(8);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeLambdaMean) {
+  Rng rng(9);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(80.0));
+  EXPECT_NEAR(sum / n, 80.0, 0.5);
+}
+
+TEST(Rng, PoissonZeroLambdaIsZero) {
+  Rng rng(10);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(11);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(ZipfSampler, RejectsBadParameters) {
+  EXPECT_THROW((ZipfSampler(0, 1.0)), PreconditionError);
+  EXPECT_THROW((ZipfSampler(10, 0.0)), PreconditionError);
+  EXPECT_THROW((ZipfSampler(10, -1.0)), PreconditionError);
+}
+
+TEST(ZipfSampler, SingleRankAlwaysOne) {
+  ZipfSampler zipf(1, 1.5);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf(rng), 1u);
+}
+
+TEST(ZipfSampler, SamplesStayInRange) {
+  ZipfSampler zipf(100, 1.69);
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = zipf(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 100u);
+  }
+}
+
+TEST(ZipfSampler, RankOneFrequencyMatchesTheory) {
+  const double s = 1.69;
+  const std::uint64_t n_ranks = 50;
+  ZipfSampler zipf(n_ranks, s);
+  Rng rng(14);
+  double h = 0.0;  // normalization
+  for (std::uint64_t k = 1; k <= n_ranks; ++k) h += std::pow(k, -s);
+  const int n = 200000;
+  int rank1 = 0;
+  for (int i = 0; i < n; ++i) rank1 += zipf(rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(rank1) / n, 1.0 / h, 0.01);
+}
+
+TEST(ZipfSampler, HandlesExponentOne) {
+  ZipfSampler zipf(20, 1.0);
+  Rng rng(15);
+  std::vector<int> counts(21, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  // P(1)/P(2) should be ~2 under s = 1.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 2.0, 0.15);
+}
+
+TEST(AliasSampler, RejectsInvalidWeights) {
+  EXPECT_THROW((AliasSampler(std::vector<double>{})), PreconditionError);
+  EXPECT_THROW((AliasSampler(std::vector<double>{0.0, 0.0})), PreconditionError);
+  EXPECT_THROW((AliasSampler(std::vector<double>{1.0, -0.5})), PreconditionError);
+}
+
+TEST(AliasSampler, MatchesWeights) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler(weights);
+  Rng rng(16);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[sampler(rng)];
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, weights[i] / 10.0, 0.01);
+  }
+}
+
+TEST(AliasSampler, DegenerateSingleWeight) {
+  AliasSampler sampler({5.0});
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler(rng), 0u);
+}
+
+TEST(AliasSampler, ZeroWeightNeverSampled) {
+  AliasSampler sampler({1.0, 0.0, 1.0});
+  Rng rng(18);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(sampler(rng), 1u);
+}
+
+}  // namespace
+}  // namespace appscope::util

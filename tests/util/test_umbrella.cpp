@@ -1,0 +1,21 @@
+// Verifies the umbrella header is self-contained and exposes the API.
+#include "appscope.hpp"
+
+#include <gtest/gtest.h>
+
+namespace appscope {
+namespace {
+
+TEST(Umbrella, ExposesTheFullPublicApi) {
+  // One symbol per layer is enough to prove the includes resolve.
+  EXPECT_EQ(ts::kHoursPerWeek, 168u);
+  EXPECT_EQ(geo::kUrbanizationCount, 4u);
+  EXPECT_EQ(workload::kDirectionCount, 2u);
+  util::Rng rng(1);
+  EXPECT_GE(rng.uniform(), 0.0);
+  const auto catalog = workload::ServiceCatalog::paper_services();
+  EXPECT_EQ(catalog.size(), 20u);
+}
+
+}  // namespace
+}  // namespace appscope

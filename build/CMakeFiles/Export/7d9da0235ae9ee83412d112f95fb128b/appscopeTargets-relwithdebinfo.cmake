@@ -1,0 +1,99 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "appscope::appscope_util" for configuration "RelWithDebInfo"
+set_property(TARGET appscope::appscope_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(appscope::appscope_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libappscope_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets appscope::appscope_util )
+list(APPEND _cmake_import_check_files_for_appscope::appscope_util "${_IMPORT_PREFIX}/lib/libappscope_util.a" )
+
+# Import target "appscope::appscope_la" for configuration "RelWithDebInfo"
+set_property(TARGET appscope::appscope_la APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(appscope::appscope_la PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libappscope_la.a"
+  )
+
+list(APPEND _cmake_import_check_targets appscope::appscope_la )
+list(APPEND _cmake_import_check_files_for_appscope::appscope_la "${_IMPORT_PREFIX}/lib/libappscope_la.a" )
+
+# Import target "appscope::appscope_stats" for configuration "RelWithDebInfo"
+set_property(TARGET appscope::appscope_stats APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(appscope::appscope_stats PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libappscope_stats.a"
+  )
+
+list(APPEND _cmake_import_check_targets appscope::appscope_stats )
+list(APPEND _cmake_import_check_files_for_appscope::appscope_stats "${_IMPORT_PREFIX}/lib/libappscope_stats.a" )
+
+# Import target "appscope::appscope_ts" for configuration "RelWithDebInfo"
+set_property(TARGET appscope::appscope_ts APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(appscope::appscope_ts PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libappscope_ts.a"
+  )
+
+list(APPEND _cmake_import_check_targets appscope::appscope_ts )
+list(APPEND _cmake_import_check_files_for_appscope::appscope_ts "${_IMPORT_PREFIX}/lib/libappscope_ts.a" )
+
+# Import target "appscope::appscope_geo" for configuration "RelWithDebInfo"
+set_property(TARGET appscope::appscope_geo APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(appscope::appscope_geo PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libappscope_geo.a"
+  )
+
+list(APPEND _cmake_import_check_targets appscope::appscope_geo )
+list(APPEND _cmake_import_check_files_for_appscope::appscope_geo "${_IMPORT_PREFIX}/lib/libappscope_geo.a" )
+
+# Import target "appscope::appscope_workload" for configuration "RelWithDebInfo"
+set_property(TARGET appscope::appscope_workload APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(appscope::appscope_workload PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libappscope_workload.a"
+  )
+
+list(APPEND _cmake_import_check_targets appscope::appscope_workload )
+list(APPEND _cmake_import_check_files_for_appscope::appscope_workload "${_IMPORT_PREFIX}/lib/libappscope_workload.a" )
+
+# Import target "appscope::appscope_net" for configuration "RelWithDebInfo"
+set_property(TARGET appscope::appscope_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(appscope::appscope_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libappscope_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets appscope::appscope_net )
+list(APPEND _cmake_import_check_files_for_appscope::appscope_net "${_IMPORT_PREFIX}/lib/libappscope_net.a" )
+
+# Import target "appscope::appscope_synth" for configuration "RelWithDebInfo"
+set_property(TARGET appscope::appscope_synth APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(appscope::appscope_synth PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libappscope_synth.a"
+  )
+
+list(APPEND _cmake_import_check_targets appscope::appscope_synth )
+list(APPEND _cmake_import_check_files_for_appscope::appscope_synth "${_IMPORT_PREFIX}/lib/libappscope_synth.a" )
+
+# Import target "appscope::appscope_core" for configuration "RelWithDebInfo"
+set_property(TARGET appscope::appscope_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(appscope::appscope_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libappscope_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets appscope::appscope_core )
+list(APPEND _cmake_import_check_files_for_appscope::appscope_core "${_IMPORT_PREFIX}/lib/libappscope_core.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

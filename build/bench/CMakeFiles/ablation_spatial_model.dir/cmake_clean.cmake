@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spatial_model.dir/ablation_spatial_model.cpp.o"
+  "CMakeFiles/ablation_spatial_model.dir/ablation_spatial_model.cpp.o.d"
+  "ablation_spatial_model"
+  "ablation_spatial_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spatial_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/appscope_bench_common.dir/bench_common.cpp.o.d"
+  "libappscope_bench_common.a"
+  "libappscope_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_service_ranking.dir/fig02_service_ranking.cpp.o"
+  "CMakeFiles/fig02_service_ranking.dir/fig02_service_ranking.cpp.o.d"
+  "fig02_service_ranking"
+  "fig02_service_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_service_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig03_top_services.cpp" "bench/CMakeFiles/fig03_top_services.dir/fig03_top_services.cpp.o" "gcc" "bench/CMakeFiles/fig03_top_services.dir/fig03_top_services.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/appscope_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/appscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/appscope_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/appscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/appscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/appscope_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/appscope_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/appscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

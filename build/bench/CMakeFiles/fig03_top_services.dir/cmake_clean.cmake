@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_top_services.dir/fig03_top_services.cpp.o"
+  "CMakeFiles/fig03_top_services.dir/fig03_top_services.cpp.o.d"
+  "fig03_top_services"
+  "fig03_top_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_top_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_timeseries_peaks.dir/fig04_timeseries_peaks.cpp.o"
+  "CMakeFiles/fig04_timeseries_peaks.dir/fig04_timeseries_peaks.cpp.o.d"
+  "fig04_timeseries_peaks"
+  "fig04_timeseries_peaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_timeseries_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_clustering_quality.dir/fig05_clustering_quality.cpp.o"
+  "CMakeFiles/fig05_clustering_quality.dir/fig05_clustering_quality.cpp.o.d"
+  "fig05_clustering_quality"
+  "fig05_clustering_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_clustering_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_peak_times.dir/fig06_peak_times.cpp.o"
+  "CMakeFiles/fig06_peak_times.dir/fig06_peak_times.cpp.o.d"
+  "fig06_peak_times"
+  "fig06_peak_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_peak_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_peak_intensity.dir/fig07_peak_intensity.cpp.o"
+  "CMakeFiles/fig07_peak_intensity.dir/fig07_peak_intensity.cpp.o.d"
+  "fig07_peak_intensity"
+  "fig07_peak_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_peak_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

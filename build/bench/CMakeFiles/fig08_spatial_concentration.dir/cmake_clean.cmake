@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_spatial_concentration.dir/fig08_spatial_concentration.cpp.o"
+  "CMakeFiles/fig08_spatial_concentration.dir/fig08_spatial_concentration.cpp.o.d"
+  "fig08_spatial_concentration"
+  "fig08_spatial_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_spatial_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_usage_maps.dir/fig09_usage_maps.cpp.o"
+  "CMakeFiles/fig09_usage_maps.dir/fig09_usage_maps.cpp.o.d"
+  "fig09_usage_maps"
+  "fig09_usage_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_usage_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_spatial_correlation.dir/fig10_spatial_correlation.cpp.o"
+  "CMakeFiles/fig10_spatial_correlation.dir/fig10_spatial_correlation.cpp.o.d"
+  "fig10_spatial_correlation"
+  "fig10_spatial_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_spatial_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_urbanization.dir/fig11_urbanization.cpp.o"
+  "CMakeFiles/fig11_urbanization.dir/fig11_urbanization.cpp.o.d"
+  "fig11_urbanization"
+  "fig11_urbanization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_urbanization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_dpi.dir/pipeline_dpi.cpp.o"
+  "CMakeFiles/pipeline_dpi.dir/pipeline_dpi.cpp.o.d"
+  "pipeline_dpi"
+  "pipeline_dpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_dpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

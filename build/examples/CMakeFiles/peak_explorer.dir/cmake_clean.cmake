@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_explorer.dir/peak_explorer.cpp.o"
+  "CMakeFiles/peak_explorer.dir/peak_explorer.cpp.o.d"
+  "peak_explorer"
+  "peak_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

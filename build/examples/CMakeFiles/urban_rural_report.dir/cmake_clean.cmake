@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urban_rural_report.dir/urban_rural_report.cpp.o"
+  "CMakeFiles/urban_rural_report.dir/urban_rural_report.cpp.o.d"
+  "urban_rural_report"
+  "urban_rural_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urban_rural_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

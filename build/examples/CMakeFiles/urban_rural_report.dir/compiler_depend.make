@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for urban_rural_report.
+# This may be replaced when dependencies are built.

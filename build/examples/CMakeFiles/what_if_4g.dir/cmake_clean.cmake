@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_4g.dir/what_if_4g.cpp.o"
+  "CMakeFiles/what_if_4g.dir/what_if_4g.cpp.o.d"
+  "what_if_4g"
+  "what_if_4g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_4g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/category_analysis.cpp" "src/core/CMakeFiles/appscope_core.dir/category_analysis.cpp.o" "gcc" "src/core/CMakeFiles/appscope_core.dir/category_analysis.cpp.o.d"
+  "/root/repo/src/core/compare.cpp" "src/core/CMakeFiles/appscope_core.dir/compare.cpp.o" "gcc" "src/core/CMakeFiles/appscope_core.dir/compare.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/appscope_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/appscope_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/dataset_io.cpp" "src/core/CMakeFiles/appscope_core.dir/dataset_io.cpp.o" "gcc" "src/core/CMakeFiles/appscope_core.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/core/rank_analysis.cpp" "src/core/CMakeFiles/appscope_core.dir/rank_analysis.cpp.o" "gcc" "src/core/CMakeFiles/appscope_core.dir/rank_analysis.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/appscope_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/appscope_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/slicing.cpp" "src/core/CMakeFiles/appscope_core.dir/slicing.cpp.o" "gcc" "src/core/CMakeFiles/appscope_core.dir/slicing.cpp.o.d"
+  "/root/repo/src/core/spatial_analysis.cpp" "src/core/CMakeFiles/appscope_core.dir/spatial_analysis.cpp.o" "gcc" "src/core/CMakeFiles/appscope_core.dir/spatial_analysis.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/appscope_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/appscope_core.dir/study.cpp.o.d"
+  "/root/repo/src/core/temporal_analysis.cpp" "src/core/CMakeFiles/appscope_core.dir/temporal_analysis.cpp.o" "gcc" "src/core/CMakeFiles/appscope_core.dir/temporal_analysis.cpp.o.d"
+  "/root/repo/src/core/urbanization_analysis.cpp" "src/core/CMakeFiles/appscope_core.dir/urbanization_analysis.cpp.o" "gcc" "src/core/CMakeFiles/appscope_core.dir/urbanization_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/appscope_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/appscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/appscope_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/appscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/appscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/appscope_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

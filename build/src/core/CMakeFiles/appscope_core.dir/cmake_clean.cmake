@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_core.dir/category_analysis.cpp.o"
+  "CMakeFiles/appscope_core.dir/category_analysis.cpp.o.d"
+  "CMakeFiles/appscope_core.dir/compare.cpp.o"
+  "CMakeFiles/appscope_core.dir/compare.cpp.o.d"
+  "CMakeFiles/appscope_core.dir/dataset.cpp.o"
+  "CMakeFiles/appscope_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/appscope_core.dir/dataset_io.cpp.o"
+  "CMakeFiles/appscope_core.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/appscope_core.dir/rank_analysis.cpp.o"
+  "CMakeFiles/appscope_core.dir/rank_analysis.cpp.o.d"
+  "CMakeFiles/appscope_core.dir/report.cpp.o"
+  "CMakeFiles/appscope_core.dir/report.cpp.o.d"
+  "CMakeFiles/appscope_core.dir/slicing.cpp.o"
+  "CMakeFiles/appscope_core.dir/slicing.cpp.o.d"
+  "CMakeFiles/appscope_core.dir/spatial_analysis.cpp.o"
+  "CMakeFiles/appscope_core.dir/spatial_analysis.cpp.o.d"
+  "CMakeFiles/appscope_core.dir/study.cpp.o"
+  "CMakeFiles/appscope_core.dir/study.cpp.o.d"
+  "CMakeFiles/appscope_core.dir/temporal_analysis.cpp.o"
+  "CMakeFiles/appscope_core.dir/temporal_analysis.cpp.o.d"
+  "CMakeFiles/appscope_core.dir/urbanization_analysis.cpp.o"
+  "CMakeFiles/appscope_core.dir/urbanization_analysis.cpp.o.d"
+  "libappscope_core.a"
+  "libappscope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/grid_map.cpp" "src/geo/CMakeFiles/appscope_geo.dir/grid_map.cpp.o" "gcc" "src/geo/CMakeFiles/appscope_geo.dir/grid_map.cpp.o.d"
+  "/root/repo/src/geo/point.cpp" "src/geo/CMakeFiles/appscope_geo.dir/point.cpp.o" "gcc" "src/geo/CMakeFiles/appscope_geo.dir/point.cpp.o.d"
+  "/root/repo/src/geo/spatial_index.cpp" "src/geo/CMakeFiles/appscope_geo.dir/spatial_index.cpp.o" "gcc" "src/geo/CMakeFiles/appscope_geo.dir/spatial_index.cpp.o.d"
+  "/root/repo/src/geo/territory.cpp" "src/geo/CMakeFiles/appscope_geo.dir/territory.cpp.o" "gcc" "src/geo/CMakeFiles/appscope_geo.dir/territory.cpp.o.d"
+  "/root/repo/src/geo/territory_io.cpp" "src/geo/CMakeFiles/appscope_geo.dir/territory_io.cpp.o" "gcc" "src/geo/CMakeFiles/appscope_geo.dir/territory_io.cpp.o.d"
+  "/root/repo/src/geo/urbanization.cpp" "src/geo/CMakeFiles/appscope_geo.dir/urbanization.cpp.o" "gcc" "src/geo/CMakeFiles/appscope_geo.dir/urbanization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/appscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

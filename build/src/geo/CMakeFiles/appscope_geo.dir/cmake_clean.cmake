@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_geo.dir/grid_map.cpp.o"
+  "CMakeFiles/appscope_geo.dir/grid_map.cpp.o.d"
+  "CMakeFiles/appscope_geo.dir/point.cpp.o"
+  "CMakeFiles/appscope_geo.dir/point.cpp.o.d"
+  "CMakeFiles/appscope_geo.dir/spatial_index.cpp.o"
+  "CMakeFiles/appscope_geo.dir/spatial_index.cpp.o.d"
+  "CMakeFiles/appscope_geo.dir/territory.cpp.o"
+  "CMakeFiles/appscope_geo.dir/territory.cpp.o.d"
+  "CMakeFiles/appscope_geo.dir/territory_io.cpp.o"
+  "CMakeFiles/appscope_geo.dir/territory_io.cpp.o.d"
+  "CMakeFiles/appscope_geo.dir/urbanization.cpp.o"
+  "CMakeFiles/appscope_geo.dir/urbanization.cpp.o.d"
+  "libappscope_geo.a"
+  "libappscope_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

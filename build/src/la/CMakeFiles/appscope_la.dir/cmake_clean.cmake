@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_la.dir/eigen.cpp.o"
+  "CMakeFiles/appscope_la.dir/eigen.cpp.o.d"
+  "CMakeFiles/appscope_la.dir/fft.cpp.o"
+  "CMakeFiles/appscope_la.dir/fft.cpp.o.d"
+  "CMakeFiles/appscope_la.dir/matrix.cpp.o"
+  "CMakeFiles/appscope_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/appscope_la.dir/vector_ops.cpp.o"
+  "CMakeFiles/appscope_la.dir/vector_ops.cpp.o.d"
+  "libappscope_la.a"
+  "libappscope_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libappscope_la.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/base_station.cpp" "src/net/CMakeFiles/appscope_net.dir/base_station.cpp.o" "gcc" "src/net/CMakeFiles/appscope_net.dir/base_station.cpp.o.d"
+  "/root/repo/src/net/dpi.cpp" "src/net/CMakeFiles/appscope_net.dir/dpi.cpp.o" "gcc" "src/net/CMakeFiles/appscope_net.dir/dpi.cpp.o.d"
+  "/root/repo/src/net/gateway.cpp" "src/net/CMakeFiles/appscope_net.dir/gateway.cpp.o" "gcc" "src/net/CMakeFiles/appscope_net.dir/gateway.cpp.o.d"
+  "/root/repo/src/net/probe.cpp" "src/net/CMakeFiles/appscope_net.dir/probe.cpp.o" "gcc" "src/net/CMakeFiles/appscope_net.dir/probe.cpp.o.d"
+  "/root/repo/src/net/simulator.cpp" "src/net/CMakeFiles/appscope_net.dir/simulator.cpp.o" "gcc" "src/net/CMakeFiles/appscope_net.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/appscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/appscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/appscope_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/appscope_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

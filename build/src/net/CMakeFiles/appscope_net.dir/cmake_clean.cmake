@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_net.dir/base_station.cpp.o"
+  "CMakeFiles/appscope_net.dir/base_station.cpp.o.d"
+  "CMakeFiles/appscope_net.dir/dpi.cpp.o"
+  "CMakeFiles/appscope_net.dir/dpi.cpp.o.d"
+  "CMakeFiles/appscope_net.dir/gateway.cpp.o"
+  "CMakeFiles/appscope_net.dir/gateway.cpp.o.d"
+  "CMakeFiles/appscope_net.dir/probe.cpp.o"
+  "CMakeFiles/appscope_net.dir/probe.cpp.o.d"
+  "CMakeFiles/appscope_net.dir/simulator.cpp.o"
+  "CMakeFiles/appscope_net.dir/simulator.cpp.o.d"
+  "libappscope_net.a"
+  "libappscope_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/appscope_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/appscope_stats.dir/correlation.cpp.o"
+  "CMakeFiles/appscope_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/appscope_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/appscope_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/appscope_stats.dir/distribution.cpp.o"
+  "CMakeFiles/appscope_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/appscope_stats.dir/regression.cpp.o"
+  "CMakeFiles/appscope_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/appscope_stats.dir/weighted.cpp.o"
+  "CMakeFiles/appscope_stats.dir/weighted.cpp.o.d"
+  "CMakeFiles/appscope_stats.dir/zipf.cpp.o"
+  "CMakeFiles/appscope_stats.dir/zipf.cpp.o.d"
+  "libappscope_stats.a"
+  "libappscope_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/generator.cpp" "src/synth/CMakeFiles/appscope_synth.dir/generator.cpp.o" "gcc" "src/synth/CMakeFiles/appscope_synth.dir/generator.cpp.o.d"
+  "/root/repo/src/synth/scenario.cpp" "src/synth/CMakeFiles/appscope_synth.dir/scenario.cpp.o" "gcc" "src/synth/CMakeFiles/appscope_synth.dir/scenario.cpp.o.d"
+  "/root/repo/src/synth/sinks.cpp" "src/synth/CMakeFiles/appscope_synth.dir/sinks.cpp.o" "gcc" "src/synth/CMakeFiles/appscope_synth.dir/sinks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/appscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/appscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/appscope_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/appscope_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

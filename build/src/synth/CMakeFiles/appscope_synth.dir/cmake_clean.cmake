@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_synth.dir/generator.cpp.o"
+  "CMakeFiles/appscope_synth.dir/generator.cpp.o.d"
+  "CMakeFiles/appscope_synth.dir/scenario.cpp.o"
+  "CMakeFiles/appscope_synth.dir/scenario.cpp.o.d"
+  "CMakeFiles/appscope_synth.dir/sinks.cpp.o"
+  "CMakeFiles/appscope_synth.dir/sinks.cpp.o.d"
+  "libappscope_synth.a"
+  "libappscope_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/autocorrelation.cpp" "src/ts/CMakeFiles/appscope_ts.dir/autocorrelation.cpp.o" "gcc" "src/ts/CMakeFiles/appscope_ts.dir/autocorrelation.cpp.o.d"
+  "/root/repo/src/ts/calendar.cpp" "src/ts/CMakeFiles/appscope_ts.dir/calendar.cpp.o" "gcc" "src/ts/CMakeFiles/appscope_ts.dir/calendar.cpp.o.d"
+  "/root/repo/src/ts/cluster_quality.cpp" "src/ts/CMakeFiles/appscope_ts.dir/cluster_quality.cpp.o" "gcc" "src/ts/CMakeFiles/appscope_ts.dir/cluster_quality.cpp.o.d"
+  "/root/repo/src/ts/hierarchical.cpp" "src/ts/CMakeFiles/appscope_ts.dir/hierarchical.cpp.o" "gcc" "src/ts/CMakeFiles/appscope_ts.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/ts/kmeans.cpp" "src/ts/CMakeFiles/appscope_ts.dir/kmeans.cpp.o" "gcc" "src/ts/CMakeFiles/appscope_ts.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ts/kshape.cpp" "src/ts/CMakeFiles/appscope_ts.dir/kshape.cpp.o" "gcc" "src/ts/CMakeFiles/appscope_ts.dir/kshape.cpp.o.d"
+  "/root/repo/src/ts/peaks.cpp" "src/ts/CMakeFiles/appscope_ts.dir/peaks.cpp.o" "gcc" "src/ts/CMakeFiles/appscope_ts.dir/peaks.cpp.o.d"
+  "/root/repo/src/ts/sbd.cpp" "src/ts/CMakeFiles/appscope_ts.dir/sbd.cpp.o" "gcc" "src/ts/CMakeFiles/appscope_ts.dir/sbd.cpp.o.d"
+  "/root/repo/src/ts/time_series.cpp" "src/ts/CMakeFiles/appscope_ts.dir/time_series.cpp.o" "gcc" "src/ts/CMakeFiles/appscope_ts.dir/time_series.cpp.o.d"
+  "/root/repo/src/ts/znorm.cpp" "src/ts/CMakeFiles/appscope_ts.dir/znorm.cpp.o" "gcc" "src/ts/CMakeFiles/appscope_ts.dir/znorm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/appscope_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

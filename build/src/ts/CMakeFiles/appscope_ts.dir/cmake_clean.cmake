@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_ts.dir/autocorrelation.cpp.o"
+  "CMakeFiles/appscope_ts.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/appscope_ts.dir/calendar.cpp.o"
+  "CMakeFiles/appscope_ts.dir/calendar.cpp.o.d"
+  "CMakeFiles/appscope_ts.dir/cluster_quality.cpp.o"
+  "CMakeFiles/appscope_ts.dir/cluster_quality.cpp.o.d"
+  "CMakeFiles/appscope_ts.dir/hierarchical.cpp.o"
+  "CMakeFiles/appscope_ts.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/appscope_ts.dir/kmeans.cpp.o"
+  "CMakeFiles/appscope_ts.dir/kmeans.cpp.o.d"
+  "CMakeFiles/appscope_ts.dir/kshape.cpp.o"
+  "CMakeFiles/appscope_ts.dir/kshape.cpp.o.d"
+  "CMakeFiles/appscope_ts.dir/peaks.cpp.o"
+  "CMakeFiles/appscope_ts.dir/peaks.cpp.o.d"
+  "CMakeFiles/appscope_ts.dir/sbd.cpp.o"
+  "CMakeFiles/appscope_ts.dir/sbd.cpp.o.d"
+  "CMakeFiles/appscope_ts.dir/time_series.cpp.o"
+  "CMakeFiles/appscope_ts.dir/time_series.cpp.o.d"
+  "CMakeFiles/appscope_ts.dir/znorm.cpp.o"
+  "CMakeFiles/appscope_ts.dir/znorm.cpp.o.d"
+  "libappscope_ts.a"
+  "libappscope_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_util.dir/cli.cpp.o"
+  "CMakeFiles/appscope_util.dir/cli.cpp.o.d"
+  "CMakeFiles/appscope_util.dir/csv.cpp.o"
+  "CMakeFiles/appscope_util.dir/csv.cpp.o.d"
+  "CMakeFiles/appscope_util.dir/error.cpp.o"
+  "CMakeFiles/appscope_util.dir/error.cpp.o.d"
+  "CMakeFiles/appscope_util.dir/rng.cpp.o"
+  "CMakeFiles/appscope_util.dir/rng.cpp.o.d"
+  "CMakeFiles/appscope_util.dir/strings.cpp.o"
+  "CMakeFiles/appscope_util.dir/strings.cpp.o.d"
+  "CMakeFiles/appscope_util.dir/table.cpp.o"
+  "CMakeFiles/appscope_util.dir/table.cpp.o.d"
+  "libappscope_util.a"
+  "libappscope_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/appscope_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/appscope_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/mobility.cpp" "src/workload/CMakeFiles/appscope_workload.dir/mobility.cpp.o" "gcc" "src/workload/CMakeFiles/appscope_workload.dir/mobility.cpp.o.d"
+  "/root/repo/src/workload/population.cpp" "src/workload/CMakeFiles/appscope_workload.dir/population.cpp.o" "gcc" "src/workload/CMakeFiles/appscope_workload.dir/population.cpp.o.d"
+  "/root/repo/src/workload/service.cpp" "src/workload/CMakeFiles/appscope_workload.dir/service.cpp.o" "gcc" "src/workload/CMakeFiles/appscope_workload.dir/service.cpp.o.d"
+  "/root/repo/src/workload/spatial_profile.cpp" "src/workload/CMakeFiles/appscope_workload.dir/spatial_profile.cpp.o" "gcc" "src/workload/CMakeFiles/appscope_workload.dir/spatial_profile.cpp.o.d"
+  "/root/repo/src/workload/temporal_profile.cpp" "src/workload/CMakeFiles/appscope_workload.dir/temporal_profile.cpp.o" "gcc" "src/workload/CMakeFiles/appscope_workload.dir/temporal_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/appscope_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/appscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/appscope_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

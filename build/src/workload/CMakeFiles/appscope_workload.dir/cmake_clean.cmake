@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_workload.dir/catalog.cpp.o"
+  "CMakeFiles/appscope_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/appscope_workload.dir/mobility.cpp.o"
+  "CMakeFiles/appscope_workload.dir/mobility.cpp.o.d"
+  "CMakeFiles/appscope_workload.dir/population.cpp.o"
+  "CMakeFiles/appscope_workload.dir/population.cpp.o.d"
+  "CMakeFiles/appscope_workload.dir/service.cpp.o"
+  "CMakeFiles/appscope_workload.dir/service.cpp.o.d"
+  "CMakeFiles/appscope_workload.dir/spatial_profile.cpp.o"
+  "CMakeFiles/appscope_workload.dir/spatial_profile.cpp.o.d"
+  "CMakeFiles/appscope_workload.dir/temporal_profile.cpp.o"
+  "CMakeFiles/appscope_workload.dir/temporal_profile.cpp.o.d"
+  "libappscope_workload.a"
+  "libappscope_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

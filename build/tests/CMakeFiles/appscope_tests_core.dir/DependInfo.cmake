@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_category_analysis.cpp" "tests/CMakeFiles/appscope_tests_core.dir/core/test_category_analysis.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_core.dir/core/test_category_analysis.cpp.o.d"
+  "/root/repo/tests/core/test_compare.cpp" "tests/CMakeFiles/appscope_tests_core.dir/core/test_compare.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_core.dir/core/test_compare.cpp.o.d"
+  "/root/repo/tests/core/test_dataset.cpp" "tests/CMakeFiles/appscope_tests_core.dir/core/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_core.dir/core/test_dataset.cpp.o.d"
+  "/root/repo/tests/core/test_dataset_io.cpp" "tests/CMakeFiles/appscope_tests_core.dir/core/test_dataset_io.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_core.dir/core/test_dataset_io.cpp.o.d"
+  "/root/repo/tests/core/test_rank_analysis.cpp" "tests/CMakeFiles/appscope_tests_core.dir/core/test_rank_analysis.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_core.dir/core/test_rank_analysis.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/appscope_tests_core.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_core.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_slicing.cpp" "tests/CMakeFiles/appscope_tests_core.dir/core/test_slicing.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_core.dir/core/test_slicing.cpp.o.d"
+  "/root/repo/tests/core/test_spatial_analysis.cpp" "tests/CMakeFiles/appscope_tests_core.dir/core/test_spatial_analysis.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_core.dir/core/test_spatial_analysis.cpp.o.d"
+  "/root/repo/tests/core/test_study.cpp" "tests/CMakeFiles/appscope_tests_core.dir/core/test_study.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_core.dir/core/test_study.cpp.o.d"
+  "/root/repo/tests/core/test_temporal_analysis.cpp" "tests/CMakeFiles/appscope_tests_core.dir/core/test_temporal_analysis.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_core.dir/core/test_temporal_analysis.cpp.o.d"
+  "/root/repo/tests/core/test_urbanization_analysis.cpp" "tests/CMakeFiles/appscope_tests_core.dir/core/test_urbanization_analysis.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_core.dir/core/test_urbanization_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/appscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/appscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/appscope_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/appscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/appscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/appscope_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/appscope_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_tests_core.dir/core/test_category_analysis.cpp.o"
+  "CMakeFiles/appscope_tests_core.dir/core/test_category_analysis.cpp.o.d"
+  "CMakeFiles/appscope_tests_core.dir/core/test_compare.cpp.o"
+  "CMakeFiles/appscope_tests_core.dir/core/test_compare.cpp.o.d"
+  "CMakeFiles/appscope_tests_core.dir/core/test_dataset.cpp.o"
+  "CMakeFiles/appscope_tests_core.dir/core/test_dataset.cpp.o.d"
+  "CMakeFiles/appscope_tests_core.dir/core/test_dataset_io.cpp.o"
+  "CMakeFiles/appscope_tests_core.dir/core/test_dataset_io.cpp.o.d"
+  "CMakeFiles/appscope_tests_core.dir/core/test_rank_analysis.cpp.o"
+  "CMakeFiles/appscope_tests_core.dir/core/test_rank_analysis.cpp.o.d"
+  "CMakeFiles/appscope_tests_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/appscope_tests_core.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/appscope_tests_core.dir/core/test_slicing.cpp.o"
+  "CMakeFiles/appscope_tests_core.dir/core/test_slicing.cpp.o.d"
+  "CMakeFiles/appscope_tests_core.dir/core/test_spatial_analysis.cpp.o"
+  "CMakeFiles/appscope_tests_core.dir/core/test_spatial_analysis.cpp.o.d"
+  "CMakeFiles/appscope_tests_core.dir/core/test_study.cpp.o"
+  "CMakeFiles/appscope_tests_core.dir/core/test_study.cpp.o.d"
+  "CMakeFiles/appscope_tests_core.dir/core/test_temporal_analysis.cpp.o"
+  "CMakeFiles/appscope_tests_core.dir/core/test_temporal_analysis.cpp.o.d"
+  "CMakeFiles/appscope_tests_core.dir/core/test_urbanization_analysis.cpp.o"
+  "CMakeFiles/appscope_tests_core.dir/core/test_urbanization_analysis.cpp.o.d"
+  "appscope_tests_core"
+  "appscope_tests_core.pdb"
+  "appscope_tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/la/test_eigen.cpp" "tests/CMakeFiles/appscope_tests_foundation.dir/la/test_eigen.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_foundation.dir/la/test_eigen.cpp.o.d"
+  "/root/repo/tests/la/test_fft.cpp" "tests/CMakeFiles/appscope_tests_foundation.dir/la/test_fft.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_foundation.dir/la/test_fft.cpp.o.d"
+  "/root/repo/tests/la/test_matrix.cpp" "tests/CMakeFiles/appscope_tests_foundation.dir/la/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_foundation.dir/la/test_matrix.cpp.o.d"
+  "/root/repo/tests/la/test_vector_ops.cpp" "tests/CMakeFiles/appscope_tests_foundation.dir/la/test_vector_ops.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_foundation.dir/la/test_vector_ops.cpp.o.d"
+  "/root/repo/tests/util/test_cli.cpp" "tests/CMakeFiles/appscope_tests_foundation.dir/util/test_cli.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_foundation.dir/util/test_cli.cpp.o.d"
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/appscope_tests_foundation.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_foundation.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/appscope_tests_foundation.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_foundation.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_strings.cpp" "tests/CMakeFiles/appscope_tests_foundation.dir/util/test_strings.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_foundation.dir/util/test_strings.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/appscope_tests_foundation.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_foundation.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_umbrella.cpp" "tests/CMakeFiles/appscope_tests_foundation.dir/util/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_foundation.dir/util/test_umbrella.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/appscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/appscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/appscope_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/appscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/appscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/appscope_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/appscope_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_tests_foundation.dir/la/test_eigen.cpp.o"
+  "CMakeFiles/appscope_tests_foundation.dir/la/test_eigen.cpp.o.d"
+  "CMakeFiles/appscope_tests_foundation.dir/la/test_fft.cpp.o"
+  "CMakeFiles/appscope_tests_foundation.dir/la/test_fft.cpp.o.d"
+  "CMakeFiles/appscope_tests_foundation.dir/la/test_matrix.cpp.o"
+  "CMakeFiles/appscope_tests_foundation.dir/la/test_matrix.cpp.o.d"
+  "CMakeFiles/appscope_tests_foundation.dir/la/test_vector_ops.cpp.o"
+  "CMakeFiles/appscope_tests_foundation.dir/la/test_vector_ops.cpp.o.d"
+  "CMakeFiles/appscope_tests_foundation.dir/util/test_cli.cpp.o"
+  "CMakeFiles/appscope_tests_foundation.dir/util/test_cli.cpp.o.d"
+  "CMakeFiles/appscope_tests_foundation.dir/util/test_csv.cpp.o"
+  "CMakeFiles/appscope_tests_foundation.dir/util/test_csv.cpp.o.d"
+  "CMakeFiles/appscope_tests_foundation.dir/util/test_rng.cpp.o"
+  "CMakeFiles/appscope_tests_foundation.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/appscope_tests_foundation.dir/util/test_strings.cpp.o"
+  "CMakeFiles/appscope_tests_foundation.dir/util/test_strings.cpp.o.d"
+  "CMakeFiles/appscope_tests_foundation.dir/util/test_table.cpp.o"
+  "CMakeFiles/appscope_tests_foundation.dir/util/test_table.cpp.o.d"
+  "CMakeFiles/appscope_tests_foundation.dir/util/test_umbrella.cpp.o"
+  "CMakeFiles/appscope_tests_foundation.dir/util/test_umbrella.cpp.o.d"
+  "appscope_tests_foundation"
+  "appscope_tests_foundation.pdb"
+  "appscope_tests_foundation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_tests_foundation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_tests_pipeline.dir/net/test_base_station.cpp.o"
+  "CMakeFiles/appscope_tests_pipeline.dir/net/test_base_station.cpp.o.d"
+  "CMakeFiles/appscope_tests_pipeline.dir/net/test_dpi.cpp.o"
+  "CMakeFiles/appscope_tests_pipeline.dir/net/test_dpi.cpp.o.d"
+  "CMakeFiles/appscope_tests_pipeline.dir/net/test_probe_gateway.cpp.o"
+  "CMakeFiles/appscope_tests_pipeline.dir/net/test_probe_gateway.cpp.o.d"
+  "CMakeFiles/appscope_tests_pipeline.dir/net/test_simulator.cpp.o"
+  "CMakeFiles/appscope_tests_pipeline.dir/net/test_simulator.cpp.o.d"
+  "CMakeFiles/appscope_tests_pipeline.dir/synth/test_generator.cpp.o"
+  "CMakeFiles/appscope_tests_pipeline.dir/synth/test_generator.cpp.o.d"
+  "CMakeFiles/appscope_tests_pipeline.dir/synth/test_sinks.cpp.o"
+  "CMakeFiles/appscope_tests_pipeline.dir/synth/test_sinks.cpp.o.d"
+  "appscope_tests_pipeline"
+  "appscope_tests_pipeline.pdb"
+  "appscope_tests_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_tests_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

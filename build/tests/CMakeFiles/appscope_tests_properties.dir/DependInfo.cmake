@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/properties/test_prop_clustering.cpp" "tests/CMakeFiles/appscope_tests_properties.dir/properties/test_prop_clustering.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_properties.dir/properties/test_prop_clustering.cpp.o.d"
+  "/root/repo/tests/properties/test_prop_detector.cpp" "tests/CMakeFiles/appscope_tests_properties.dir/properties/test_prop_detector.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_properties.dir/properties/test_prop_detector.cpp.o.d"
+  "/root/repo/tests/properties/test_prop_fuzz.cpp" "tests/CMakeFiles/appscope_tests_properties.dir/properties/test_prop_fuzz.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_properties.dir/properties/test_prop_fuzz.cpp.o.d"
+  "/root/repo/tests/properties/test_prop_sbd.cpp" "tests/CMakeFiles/appscope_tests_properties.dir/properties/test_prop_sbd.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_properties.dir/properties/test_prop_sbd.cpp.o.d"
+  "/root/repo/tests/properties/test_prop_scenario.cpp" "tests/CMakeFiles/appscope_tests_properties.dir/properties/test_prop_scenario.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_properties.dir/properties/test_prop_scenario.cpp.o.d"
+  "/root/repo/tests/properties/test_prop_stats.cpp" "tests/CMakeFiles/appscope_tests_properties.dir/properties/test_prop_stats.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_properties.dir/properties/test_prop_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/appscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/appscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/appscope_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/appscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/appscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/appscope_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/appscope_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

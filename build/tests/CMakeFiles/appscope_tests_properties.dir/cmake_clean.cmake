@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_tests_properties.dir/properties/test_prop_clustering.cpp.o"
+  "CMakeFiles/appscope_tests_properties.dir/properties/test_prop_clustering.cpp.o.d"
+  "CMakeFiles/appscope_tests_properties.dir/properties/test_prop_detector.cpp.o"
+  "CMakeFiles/appscope_tests_properties.dir/properties/test_prop_detector.cpp.o.d"
+  "CMakeFiles/appscope_tests_properties.dir/properties/test_prop_fuzz.cpp.o"
+  "CMakeFiles/appscope_tests_properties.dir/properties/test_prop_fuzz.cpp.o.d"
+  "CMakeFiles/appscope_tests_properties.dir/properties/test_prop_sbd.cpp.o"
+  "CMakeFiles/appscope_tests_properties.dir/properties/test_prop_sbd.cpp.o.d"
+  "CMakeFiles/appscope_tests_properties.dir/properties/test_prop_scenario.cpp.o"
+  "CMakeFiles/appscope_tests_properties.dir/properties/test_prop_scenario.cpp.o.d"
+  "CMakeFiles/appscope_tests_properties.dir/properties/test_prop_stats.cpp.o"
+  "CMakeFiles/appscope_tests_properties.dir/properties/test_prop_stats.cpp.o.d"
+  "appscope_tests_properties"
+  "appscope_tests_properties.pdb"
+  "appscope_tests_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_tests_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

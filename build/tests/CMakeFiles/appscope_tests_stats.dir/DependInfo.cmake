@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_bootstrap.cpp" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/stats/test_correlation.cpp" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_correlation.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_correlation.cpp.o.d"
+  "/root/repo/tests/stats/test_descriptive.cpp" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_descriptive.cpp.o.d"
+  "/root/repo/tests/stats/test_distribution.cpp" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_distribution.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_distribution.cpp.o.d"
+  "/root/repo/tests/stats/test_regression.cpp" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_regression.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_regression.cpp.o.d"
+  "/root/repo/tests/stats/test_weighted.cpp" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_weighted.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_weighted.cpp.o.d"
+  "/root/repo/tests/stats/test_zipf.cpp" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_zipf.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_stats.dir/stats/test_zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/appscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/appscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/appscope_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/appscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/appscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/appscope_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/appscope_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

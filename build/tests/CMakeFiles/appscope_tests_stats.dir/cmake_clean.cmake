@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_bootstrap.cpp.o"
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_bootstrap.cpp.o.d"
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_correlation.cpp.o"
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_correlation.cpp.o.d"
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_descriptive.cpp.o"
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_descriptive.cpp.o.d"
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_distribution.cpp.o"
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_distribution.cpp.o.d"
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_regression.cpp.o"
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_regression.cpp.o.d"
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_weighted.cpp.o"
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_weighted.cpp.o.d"
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_zipf.cpp.o"
+  "CMakeFiles/appscope_tests_stats.dir/stats/test_zipf.cpp.o.d"
+  "appscope_tests_stats"
+  "appscope_tests_stats.pdb"
+  "appscope_tests_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_tests_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

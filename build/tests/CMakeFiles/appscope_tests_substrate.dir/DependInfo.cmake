@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geo/test_grid_map.cpp" "tests/CMakeFiles/appscope_tests_substrate.dir/geo/test_grid_map.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_substrate.dir/geo/test_grid_map.cpp.o.d"
+  "/root/repo/tests/geo/test_point.cpp" "tests/CMakeFiles/appscope_tests_substrate.dir/geo/test_point.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_substrate.dir/geo/test_point.cpp.o.d"
+  "/root/repo/tests/geo/test_spatial_index.cpp" "tests/CMakeFiles/appscope_tests_substrate.dir/geo/test_spatial_index.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_substrate.dir/geo/test_spatial_index.cpp.o.d"
+  "/root/repo/tests/geo/test_territory.cpp" "tests/CMakeFiles/appscope_tests_substrate.dir/geo/test_territory.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_substrate.dir/geo/test_territory.cpp.o.d"
+  "/root/repo/tests/geo/test_territory_io.cpp" "tests/CMakeFiles/appscope_tests_substrate.dir/geo/test_territory_io.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_substrate.dir/geo/test_territory_io.cpp.o.d"
+  "/root/repo/tests/geo/test_urbanization.cpp" "tests/CMakeFiles/appscope_tests_substrate.dir/geo/test_urbanization.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_substrate.dir/geo/test_urbanization.cpp.o.d"
+  "/root/repo/tests/workload/test_catalog.cpp" "tests/CMakeFiles/appscope_tests_substrate.dir/workload/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_substrate.dir/workload/test_catalog.cpp.o.d"
+  "/root/repo/tests/workload/test_mobility.cpp" "tests/CMakeFiles/appscope_tests_substrate.dir/workload/test_mobility.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_substrate.dir/workload/test_mobility.cpp.o.d"
+  "/root/repo/tests/workload/test_population.cpp" "tests/CMakeFiles/appscope_tests_substrate.dir/workload/test_population.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_substrate.dir/workload/test_population.cpp.o.d"
+  "/root/repo/tests/workload/test_spatial_profile.cpp" "tests/CMakeFiles/appscope_tests_substrate.dir/workload/test_spatial_profile.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_substrate.dir/workload/test_spatial_profile.cpp.o.d"
+  "/root/repo/tests/workload/test_temporal_profile.cpp" "tests/CMakeFiles/appscope_tests_substrate.dir/workload/test_temporal_profile.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_substrate.dir/workload/test_temporal_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/appscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/appscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/appscope_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/appscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/appscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/appscope_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/appscope_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_tests_substrate.dir/geo/test_grid_map.cpp.o"
+  "CMakeFiles/appscope_tests_substrate.dir/geo/test_grid_map.cpp.o.d"
+  "CMakeFiles/appscope_tests_substrate.dir/geo/test_point.cpp.o"
+  "CMakeFiles/appscope_tests_substrate.dir/geo/test_point.cpp.o.d"
+  "CMakeFiles/appscope_tests_substrate.dir/geo/test_spatial_index.cpp.o"
+  "CMakeFiles/appscope_tests_substrate.dir/geo/test_spatial_index.cpp.o.d"
+  "CMakeFiles/appscope_tests_substrate.dir/geo/test_territory.cpp.o"
+  "CMakeFiles/appscope_tests_substrate.dir/geo/test_territory.cpp.o.d"
+  "CMakeFiles/appscope_tests_substrate.dir/geo/test_territory_io.cpp.o"
+  "CMakeFiles/appscope_tests_substrate.dir/geo/test_territory_io.cpp.o.d"
+  "CMakeFiles/appscope_tests_substrate.dir/geo/test_urbanization.cpp.o"
+  "CMakeFiles/appscope_tests_substrate.dir/geo/test_urbanization.cpp.o.d"
+  "CMakeFiles/appscope_tests_substrate.dir/workload/test_catalog.cpp.o"
+  "CMakeFiles/appscope_tests_substrate.dir/workload/test_catalog.cpp.o.d"
+  "CMakeFiles/appscope_tests_substrate.dir/workload/test_mobility.cpp.o"
+  "CMakeFiles/appscope_tests_substrate.dir/workload/test_mobility.cpp.o.d"
+  "CMakeFiles/appscope_tests_substrate.dir/workload/test_population.cpp.o"
+  "CMakeFiles/appscope_tests_substrate.dir/workload/test_population.cpp.o.d"
+  "CMakeFiles/appscope_tests_substrate.dir/workload/test_spatial_profile.cpp.o"
+  "CMakeFiles/appscope_tests_substrate.dir/workload/test_spatial_profile.cpp.o.d"
+  "CMakeFiles/appscope_tests_substrate.dir/workload/test_temporal_profile.cpp.o"
+  "CMakeFiles/appscope_tests_substrate.dir/workload/test_temporal_profile.cpp.o.d"
+  "appscope_tests_substrate"
+  "appscope_tests_substrate.pdb"
+  "appscope_tests_substrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_tests_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

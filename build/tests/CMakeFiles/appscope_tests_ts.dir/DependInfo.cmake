@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ts/test_autocorrelation.cpp" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_autocorrelation.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_autocorrelation.cpp.o.d"
+  "/root/repo/tests/ts/test_calendar.cpp" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_calendar.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_calendar.cpp.o.d"
+  "/root/repo/tests/ts/test_cluster_quality.cpp" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_cluster_quality.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_cluster_quality.cpp.o.d"
+  "/root/repo/tests/ts/test_hierarchical.cpp" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_hierarchical.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_hierarchical.cpp.o.d"
+  "/root/repo/tests/ts/test_kmeans.cpp" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_kmeans.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_kmeans.cpp.o.d"
+  "/root/repo/tests/ts/test_kshape.cpp" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_kshape.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_kshape.cpp.o.d"
+  "/root/repo/tests/ts/test_peaks.cpp" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_peaks.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_peaks.cpp.o.d"
+  "/root/repo/tests/ts/test_sbd.cpp" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_sbd.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_sbd.cpp.o.d"
+  "/root/repo/tests/ts/test_time_series.cpp" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_time_series.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_time_series.cpp.o.d"
+  "/root/repo/tests/ts/test_znorm.cpp" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_znorm.cpp.o" "gcc" "tests/CMakeFiles/appscope_tests_ts.dir/ts/test_znorm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/appscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/appscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/appscope_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/appscope_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/appscope_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/appscope_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/appscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/appscope_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/appscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

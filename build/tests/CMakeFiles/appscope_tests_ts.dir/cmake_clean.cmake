@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_autocorrelation.cpp.o"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_autocorrelation.cpp.o.d"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_calendar.cpp.o"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_calendar.cpp.o.d"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_cluster_quality.cpp.o"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_cluster_quality.cpp.o.d"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_hierarchical.cpp.o"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_hierarchical.cpp.o.d"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_kmeans.cpp.o"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_kmeans.cpp.o.d"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_kshape.cpp.o"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_kshape.cpp.o.d"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_peaks.cpp.o"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_peaks.cpp.o.d"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_sbd.cpp.o"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_sbd.cpp.o.d"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_time_series.cpp.o"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_time_series.cpp.o.d"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_znorm.cpp.o"
+  "CMakeFiles/appscope_tests_ts.dir/ts/test_znorm.cpp.o.d"
+  "appscope_tests_ts"
+  "appscope_tests_ts.pdb"
+  "appscope_tests_ts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appscope_tests_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

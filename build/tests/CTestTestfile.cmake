@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/appscope_tests_foundation[1]_include.cmake")
+include("/root/repo/build/tests/appscope_tests_stats[1]_include.cmake")
+include("/root/repo/build/tests/appscope_tests_ts[1]_include.cmake")
+include("/root/repo/build/tests/appscope_tests_substrate[1]_include.cmake")
+include("/root/repo/build/tests/appscope_tests_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/appscope_tests_core[1]_include.cmake")
+include("/root/repo/build/tests/appscope_tests_properties[1]_include.cmake")

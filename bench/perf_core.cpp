@@ -13,6 +13,7 @@
 #include "ts/kshape.hpp"
 #include "ts/peaks.hpp"
 #include "ts/sbd.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -168,6 +169,77 @@ void BM_AnalyticGenerator(benchmark::State& state) {
                           20 * 168);
 }
 BENCHMARK(BM_AnalyticGenerator)->Arg(400)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// Thread scaling of the parallel stages (see "Threading model &
+// determinism" in DESIGN.md). Outputs are bitwise identical at every
+// thread count; only wall-clock changes, so these use real time.
+
+void BM_AnalyticGeneratorThreads(benchmark::State& state) {
+  util::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(state.range(0)));
+  auto config = synth::ScenarioConfig::test_scale();
+  config.country.commune_count = 2000;
+  const geo::Territory territory = geo::build_synthetic_country(config.country);
+  const workload::SubscriberBase subscribers(territory, config.population);
+  const workload::ServiceCatalog catalog =
+      workload::ServiceCatalog::paper_services();
+  const synth::AnalyticGenerator gen(territory, subscribers, catalog,
+                                     config.traffic_seed,
+                                     config.temporal_noise_sigma);
+  for (auto _ : state) {
+    synth::TotalsSink totals;
+    gen.generate(totals);
+    benchmark::DoNotOptimize(totals.total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.country.commune_count) *
+                          20 * 168);
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_AnalyticGeneratorThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_SbdDistanceMatrixThreads(benchmark::State& state) {
+  util::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(state.range(0)));
+  const auto series = service_like_series(200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::sbd_distance_matrix(series));
+  }
+  state.SetItemsProcessed(state.iterations() * 200 * 199 / 2);
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_SbdDistanceMatrixThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_KShapeThreads(benchmark::State& state) {
+  util::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(state.range(0)));
+  const auto series = service_like_series(120);
+  ts::KShapeOptions opts;
+  opts.k = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::kshape(series, opts));
+  }
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_KShapeThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -22,4 +22,18 @@ for e in "$BUILD_DIR"/examples/*; do
   "$e" > /dev/null
 done
 
+# Optional ThreadSanitizer pass over the parallel/determinism tests
+# (APPSCOPE_TSAN=1 or --tsan): rebuilds with -DAPPSCOPE_SANITIZE=thread and
+# runs every Parallel* test under TSan.
+if [ "${APPSCOPE_TSAN:-0}" != "0" ] || [ "${1:-}" = "--tsan" ]; then
+  TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+  echo "==== TSan pass ($TSAN_BUILD_DIR)"
+  cmake -B "$TSAN_BUILD_DIR" -G Ninja \
+    -DAPPSCOPE_SANITIZE=thread \
+    -DAPPSCOPE_BUILD_BENCH=OFF \
+    -DAPPSCOPE_BUILD_EXAMPLES=OFF
+  cmake --build "$TSAN_BUILD_DIR"
+  ctest --test-dir "$TSAN_BUILD_DIR" -R '^Parallel' --output-on-failure
+fi
+
 echo "ALL CHECKS PASSED"

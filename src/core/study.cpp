@@ -1,6 +1,7 @@
 #include "core/study.hpp"
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace appscope::core {
 
@@ -14,6 +15,9 @@ workload::ServiceIndex resolve(const TrafficDataset& dataset,
 }  // namespace
 
 StudyReport run_study(const TrafficDataset& dataset, const StudyOptions& options) {
+  if (options.threads > 0) {
+    util::ThreadPool::set_global_threads(options.threads);
+  }
   const auto svc_a = resolve(dataset, options.map_service_a);
   const auto svc_b = resolve(dataset, options.map_service_b);
   const auto svc_conc = resolve(dataset, options.concentration_service);

@@ -23,6 +23,12 @@ struct StudyOptions {
   std::string concentration_service = "Twitter";
   ClusterSweepOptions cluster;
   ts::ZScorePeakOptions peaks;
+  /// Worker threads for the parallel stages (clustering, correlation,
+  /// bootstrap). 0 keeps the current global pool size (APPSCOPE_THREADS or
+  /// hardware concurrency); any other value resizes the global
+  /// util::ThreadPool before the analyses run. Results are identical at
+  /// every setting — this is a throughput knob only.
+  std::size_t threads = 0;
 };
 
 struct StudyReport {

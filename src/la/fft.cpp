@@ -46,8 +46,8 @@ void fft(std::vector<std::complex<double>>& data, bool inverse) {
   }
 }
 
-std::vector<double> cross_correlation_direct(const std::vector<double>& a,
-                                             const std::vector<double>& b) {
+std::vector<double> cross_correlation_direct(std::span<const double> a,
+                                             std::span<const double> b) {
   APPSCOPE_REQUIRE(!a.empty() && !b.empty(), "cross_correlation: empty input");
   const std::size_t na = a.size();
   const std::size_t nb = b.size();
@@ -69,8 +69,8 @@ std::vector<double> cross_correlation_direct(const std::vector<double>& a,
   return out;
 }
 
-std::vector<double> cross_correlation_fft(const std::vector<double>& a,
-                                          const std::vector<double>& b) {
+std::vector<double> cross_correlation_fft(std::span<const double> a,
+                                          std::span<const double> b) {
   APPSCOPE_REQUIRE(!a.empty() && !b.empty(), "cross_correlation: empty input");
   const std::size_t na = a.size();
   const std::size_t nb = b.size();
@@ -91,8 +91,8 @@ std::vector<double> cross_correlation_fft(const std::vector<double>& a,
   return out;
 }
 
-std::vector<double> cross_correlation(const std::vector<double>& a,
-                                      const std::vector<double>& b) {
+std::vector<double> cross_correlation(std::span<const double> a,
+                                      std::span<const double> b) {
   // Direct wins below ~128 points on typical hardware (see bench/perf_core);
   // the weekly series in this library are 168 samples, near the crossover.
   constexpr std::size_t kDirectThreshold = 128;

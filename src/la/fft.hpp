@@ -8,6 +8,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace appscope::la {
@@ -21,17 +22,37 @@ void fft(std::vector<std::complex<double>>& data, bool inverse);
 
 /// Full linear cross-correlation r[k] = sum_i a[i] * b[i - (k - (nb-1))]:
 /// output length na + nb - 1, with lag k - (nb - 1) ranging over
-/// [-(nb-1), na-1]. Direct O(na*nb) evaluation.
-std::vector<double> cross_correlation_direct(const std::vector<double>& a,
-                                             const std::vector<double>& b);
+/// [-(nb-1), na-1]. Direct O(na*nb) evaluation. Spans (not vectors) so hot
+/// callers — the SBD inner loop runs one of these per distance — pass views
+/// without materializing copies.
+std::vector<double> cross_correlation_direct(std::span<const double> a,
+                                             std::span<const double> b);
 
 /// Same result as cross_correlation_direct, computed via FFT.
-std::vector<double> cross_correlation_fft(const std::vector<double>& a,
-                                          const std::vector<double>& b);
+std::vector<double> cross_correlation_fft(std::span<const double> a,
+                                          std::span<const double> b);
 
 /// Dispatches to the faster implementation based on input size.
-std::vector<double> cross_correlation(const std::vector<double>& a,
-                                      const std::vector<double>& b);
+std::vector<double> cross_correlation(std::span<const double> a,
+                                      std::span<const double> b);
+
+/// Vector conveniences (brace-init-list friendly); forward to the span
+/// overloads without copying.
+inline std::vector<double> cross_correlation_direct(const std::vector<double>& a,
+                                                    const std::vector<double>& b) {
+  return cross_correlation_direct(std::span<const double>(a),
+                                  std::span<const double>(b));
+}
+inline std::vector<double> cross_correlation_fft(const std::vector<double>& a,
+                                                 const std::vector<double>& b) {
+  return cross_correlation_fft(std::span<const double>(a),
+                               std::span<const double>(b));
+}
+inline std::vector<double> cross_correlation(const std::vector<double>& a,
+                                             const std::vector<double>& b) {
+  return cross_correlation(std::span<const double>(a),
+                           std::span<const double>(b));
+}
 
 /// Linear convolution (a * b), length na + nb - 1, via FFT.
 std::vector<double> convolve(const std::vector<double>& a,

@@ -5,6 +5,7 @@
 
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace appscope::stats {
@@ -19,16 +20,24 @@ BootstrapCi bootstrap_ci(std::span<const double> sample, std::size_t iterations,
   APPSCOPE_REQUIRE(iterations >= 100, "bootstrap: needs >= 100 iterations");
   APPSCOPE_REQUIRE(alpha > 0.0 && alpha < 0.5, "bootstrap: alpha in (0, 0.5)");
 
-  util::Rng rng(seed);
-  std::vector<double> resample(sample.size());
-  std::vector<double> estimates;
-  estimates.reserve(iterations);
-  for (std::size_t it = 0; it < iterations; ++it) {
-    for (double& v : resample) {
-      v = sample[rng.uniform_index(sample.size())];
-    }
-    estimates.push_back(statistic(resample));
-  }
+  // Replicates fan out across the pool, each drawing from its own forked
+  // stream base.fork(it): replicate `it` resamples identically no matter
+  // which thread (or how many threads) runs it, and the sort below erases
+  // completion order, so the CI is deterministic in `seed` alone.
+  const util::Rng base(seed);
+  std::vector<double> estimates(iterations, 0.0);
+  constexpr std::size_t kReplicatesPerShard = 64;
+  util::parallel_for(
+      0, iterations, kReplicatesPerShard, [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> resample(sample.size());
+        for (std::size_t it = lo; it < hi; ++it) {
+          util::Rng rng = base.fork(it);
+          for (double& v : resample) {
+            v = sample[rng.uniform_index(sample.size())];
+          }
+          estimates[it] = statistic(resample);
+        }
+      });
   std::sort(estimates.begin(), estimates.end());
 
   BootstrapCi ci;

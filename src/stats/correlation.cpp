@@ -6,6 +6,7 @@
 
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace appscope::stats {
 
@@ -79,14 +80,21 @@ la::Matrix pairwise_r2(const std::vector<std::vector<double>>& vectors) {
     APPSCOPE_REQUIRE(v.size() == len, "pairwise_r2: ragged vectors");
   }
   const std::size_t n = vectors.size();
+  // Row-sharded fill over the global pool: every (i, j) entry is an
+  // independent pearson_r2, so the matrix is bitwise identical at any
+  // thread count. Shards own disjoint upper-triangle rows (and the
+  // mirrored cells below the diagonal), so writes never overlap.
   la::Matrix m(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i; j < n; ++j) {
-      const double r2 = pearson_r2(vectors[i], vectors[j]);
-      m(i, j) = r2;
-      m(j, i) = r2;
+  constexpr std::size_t kRowsPerShard = 2;
+  util::parallel_for(0, n, kRowsPerShard, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        const double r2 = pearson_r2(vectors[i], vectors[j]);
+        m(i, j) = r2;
+        m(j, i) = r2;
+      }
     }
-  }
+  });
   return m;
 }
 

@@ -1,6 +1,7 @@
 #include "synth/generator.hpp"
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "workload/spatial_profile.hpp"
 #include "workload/temporal_profile.hpp"
@@ -55,42 +56,59 @@ double AnalyticGenerator::expected_weekly_per_user(workload::ServiceIndex servic
       service * 2 + static_cast<std::uint64_t>(d));
 }
 
-void AnalyticGenerator::generate(TrafficSink& sink) const {
+void AnalyticGenerator::generate_commune(const geo::Commune& commune,
+                                         TrafficSink& sink) const {
   const std::size_t n_services = catalog_.size();
   const double mu_correction = -0.5 * noise_sigma_ * noise_sigma_;
+  const double subs = static_cast<double>(subscribers_.subscribers(commune.id));
+  const bool is_tgv = commune.urbanization == geo::Urbanization::kTgv;
+  util::Rng noise_rng(
+      util::SplitMix64(seed_ ^ (0xBEEFULL + commune.id * 0x9E3779B97F4A7C15ULL))
+          .next());
 
-  for (const auto& commune : territory_.communes()) {
-    const double subs = static_cast<double>(subscribers_.subscribers(commune.id));
-    const bool is_tgv = commune.urbanization == geo::Urbanization::kTgv;
-    util::Rng noise_rng(
-        util::SplitMix64(seed_ ^ (0xBEEFULL + commune.id * 0x9E3779B97F4A7C15ULL))
-            .next());
+  for (std::size_t s = 0; s < n_services; ++s) {
+    const double weekly_dl =
+        expected_weekly_per_user(s, commune.id, workload::Direction::kDownlink);
+    const double weekly_ul =
+        expected_weekly_per_user(s, commune.id, workload::Direction::kUplink);
+    if (weekly_dl <= 0.0 && weekly_ul <= 0.0) continue;
 
-    for (std::size_t s = 0; s < n_services; ++s) {
-      const double weekly_dl =
-          expected_weekly_per_user(s, commune.id, workload::Direction::kDownlink);
-      const double weekly_ul =
-          expected_weekly_per_user(s, commune.id, workload::Direction::kUplink);
-      if (weekly_dl <= 0.0 && weekly_ul <= 0.0) continue;
-
-      const auto& hourly = is_tgv ? share_tgv_[s] : share_[s];
-      for (std::size_t h = 0; h < ts::kHoursPerWeek; ++h) {
-        const double jitter =
-            noise_sigma_ > 0.0 ? noise_rng.lognormal(mu_correction, noise_sigma_)
-                               : 1.0;
-        const double present =
-            presence_ != nullptr ? presence_->presence(commune.id, h) : 1.0;
-        TrafficCell cell;
-        cell.service = s;
-        cell.commune = commune.id;
-        cell.week_hour = h;
-        cell.urbanization = commune.urbanization;
-        cell.downlink_bytes = subs * weekly_dl * hourly[h] * jitter * present;
-        cell.uplink_bytes = subs * weekly_ul * hourly[h] * jitter * present;
-        sink.consume(cell);
-      }
+    const auto& hourly = is_tgv ? share_tgv_[s] : share_[s];
+    for (std::size_t h = 0; h < ts::kHoursPerWeek; ++h) {
+      const double jitter =
+          noise_sigma_ > 0.0 ? noise_rng.lognormal(mu_correction, noise_sigma_)
+                             : 1.0;
+      const double present =
+          presence_ != nullptr ? presence_->presence(commune.id, h) : 1.0;
+      TrafficCell cell;
+      cell.service = s;
+      cell.commune = commune.id;
+      cell.week_hour = h;
+      cell.urbanization = commune.urbanization;
+      cell.downlink_bytes = subs * weekly_dl * hourly[h] * jitter * present;
+      cell.uplink_bytes = subs * weekly_ul * hourly[h] * jitter * present;
+      sink.consume(cell);
     }
   }
+}
+
+void AnalyticGenerator::generate(TrafficSink& sink) const {
+  const auto& communes = territory_.communes();
+  // Fixed shard grain: the decomposition (and so the replay order) is the
+  // same at every thread count. Each commune's noise stream is seeded by
+  // its id, so shards are independent of the worker that runs them.
+  constexpr std::size_t kCommunesPerShard = 32;
+  util::parallel_map_reduce<BufferSink>(
+      0, communes.size(), kCommunesPerShard,
+      [&](std::size_t lo, std::size_t hi) {
+        BufferSink buffer;
+        buffer.reserve((hi - lo) * catalog_.size() * ts::kHoursPerWeek);
+        for (std::size_t i = lo; i < hi; ++i) {
+          generate_commune(communes[i], buffer);
+        }
+        return buffer;
+      },
+      [&sink](BufferSink&& buffer, std::size_t) { buffer.replay_into(sink); });
 }
 
 }  // namespace appscope::synth

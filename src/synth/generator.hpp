@@ -31,6 +31,13 @@ class AnalyticGenerator {
                     const workload::PresenceModel* presence = nullptr);
 
   /// Streams the full week into `sink` (use FanoutSink for several).
+  ///
+  /// Communes are sharded across the global util::ThreadPool: each worker
+  /// derives the commune's own noise stream (seeded by commune id, exactly
+  /// as the serial path always has) and stages its cells in a BufferSink;
+  /// shards are replayed into `sink` in commune order. The sink therefore
+  /// sees the identical cell sequence at any thread count, and outputs are
+  /// bitwise equal to a single-threaded run.
   void generate(TrafficSink& sink) const;
 
   /// Expected (noise-free) weekly per-user volume of a service in a commune.
@@ -39,6 +46,8 @@ class AnalyticGenerator {
                                   workload::Direction d) const;
 
  private:
+  void generate_commune(const geo::Commune& commune, TrafficSink& sink) const;
+
   const geo::Territory& territory_;
   const workload::SubscriberBase& subscribers_;
   const workload::ServiceCatalog& catalog_;

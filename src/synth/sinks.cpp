@@ -110,6 +110,12 @@ void TotalsSink::consume(const TrafficCell& cell) {
   ++cells_;
 }
 
+// --- BufferSink ------------------------------------------------------------------
+
+void BufferSink::replay_into(TrafficSink& sink) const {
+  for (const TrafficCell& cell : cells_) sink.consume(cell);
+}
+
 // --- FanoutSink ------------------------------------------------------------------
 
 FanoutSink::FanoutSink(std::vector<TrafficSink*> sinks) : sinks_(std::move(sinks)) {

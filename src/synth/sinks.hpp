@@ -109,6 +109,28 @@ class TotalsSink final : public TrafficSink {
   std::uint64_t cells_ = 0;
 };
 
+/// Buffers cells verbatim for deferred replay. This is the thread-local
+/// staging area of the parallel generator: each worker streams its commune
+/// shard into a private BufferSink, and the buffers are replayed into the
+/// caller's sink in shard order, so the downstream sink observes exactly
+/// the cell sequence the serial generator would have produced.
+class BufferSink final : public TrafficSink {
+ public:
+  void consume(const TrafficCell& cell) override { cells_.push_back(cell); }
+
+  void reserve(std::size_t cells) { cells_.reserve(cells); }
+  std::size_t size() const noexcept { return cells_.size(); }
+  const std::vector<TrafficCell>& cells() const noexcept { return cells_; }
+
+  /// Feeds every buffered cell into `sink`, in insertion order.
+  void replay_into(TrafficSink& sink) const;
+
+  void clear() noexcept { cells_.clear(); }
+
+ private:
+  std::vector<TrafficCell> cells_;
+};
+
 /// Broadcasts each cell to several sinks (non-owning).
 class FanoutSink final : public TrafficSink {
  public:

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace appscope::ts {
 
@@ -47,13 +48,23 @@ Dendrogram hierarchical_cluster(const std::vector<std::vector<double>>& items,
   APPSCOPE_REQUIRE(!items.empty(), "hierarchical_cluster: no items");
   const std::size_t n = items.size();
 
-  // Pairwise leaf distances, computed once.
+  // Pairwise leaf distances, computed once. The O(n²) fill dominates for
+  // expensive distances (SBD over commune series), so rows are sharded
+  // across the pool; entries are independent, results thread-count
+  // invariant.
   std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      d[i][j] = d[j][i] = dist(items[i], items[j]);
-      APPSCOPE_REQUIRE(d[i][j] >= 0.0, "hierarchical_cluster: negative distance");
+  constexpr std::size_t kRowsPerShard = 4;
+  util::parallel_for(0, n, kRowsPerShard, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        d[i][j] = dist(items[i], items[j]);
+        APPSCOPE_REQUIRE(d[i][j] >= 0.0,
+                         "hierarchical_cluster: negative distance");
+      }
     }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) d[j][i] = d[i][j];
   }
 
   Dendrogram out;

@@ -10,6 +10,7 @@
 #include "ts/sbd.hpp"
 #include "ts/znorm.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace appscope::ts {
@@ -51,10 +52,34 @@ std::vector<double> shape_extract(const std::vector<std::vector<double>>& member
     }
   }
 
-  // M = Q S Q with Q = I - (1/n) 1·1ᵀ. Computed explicitly (n ≈ 168).
-  la::Matrix q(n, n, -1.0 / static_cast<double>(n));
-  for (std::size_t i = 0; i < n; ++i) q(i, i) += 1.0;
-  const la::Matrix m = q * s * q;
+  // M = Q S Q with Q = I - (1/n) 1·1ᵀ. Multiplying by Q on both sides is
+  // row- and column-mean centering, so M is assembled directly in O(n²):
+  //   M(i, j) = S(i, j) - rmean(i) - cmean(j) + gmean.
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<double> rmean(n, 0.0);
+  std::vector<double> cmean(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = &s(i, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      rmean[i] += row[j];
+      cmean[j] += row[j];
+    }
+  }
+  double gmean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rmean[i] *= inv_n;
+    gmean += rmean[i];
+  }
+  gmean *= inv_n;
+  for (std::size_t j = 0; j < n; ++j) cmean[j] *= inv_n;
+  la::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* srow = &s(i, 0);
+    double* mrow = &m(i, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      mrow[j] = srow[j] - rmean[i] - cmean[j] + gmean;
+    }
+  }
 
   la::PowerIterationOptions pio;
   pio.seed = 1234;
@@ -119,33 +144,45 @@ KShapeResult kshape(const std::vector<std::vector<double>>& series,
   for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
-    // Refinement: extract a shape per non-empty cluster.
-    for (std::size_t c = 0; c < opts.k; ++c) {
-      std::vector<std::vector<double>> members;
-      for (std::size_t i = 0; i < data.size(); ++i) {
-        if (result.assignments[i] == c) members.push_back(data[i]);
-      }
-      if (members.empty()) continue;  // re-seeded below after assignment
-      result.centroids[c] = shape_extract(members, result.centroids[c]);
-    }
-
-    // Assignment: nearest centroid by SBD.
-    prev_assignments = result.assignments;
-    result.inertia = 0.0;
+    // Refinement: extract a shape per non-empty cluster. Clusters are
+    // independent of each other, so they refine in parallel; each cluster's
+    // extraction is untouched serial code.
+    std::vector<std::vector<std::vector<double>>> cluster_members(opts.k);
     for (std::size_t i = 0; i < data.size(); ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      std::size_t best_c = result.assignments[i];
-      for (std::size_t c = 0; c < opts.k; ++c) {
-        if (la::norm2(result.centroids[c]) == 0.0) continue;
-        const double d = sbd_distance(result.centroids[c], data[i]);
-        if (d < best) {
-          best = d;
-          best_c = c;
-        }
-      }
-      result.assignments[i] = best_c;
-      result.inertia += best;
+      cluster_members[result.assignments[i]].push_back(data[i]);
     }
+    util::parallel_for(0, opts.k, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t c = lo; c < hi; ++c) {
+        if (cluster_members[c].empty()) continue;  // re-seeded after assignment
+        result.centroids[c] = shape_extract(cluster_members[c], result.centroids[c]);
+      }
+    });
+
+    // Assignment: nearest centroid by SBD. Each series' N × k distance scan
+    // is independent; the inertia fold stays serial (in series order) so the
+    // sum is bitwise identical at any thread count.
+    prev_assignments = result.assignments;
+    std::vector<double> best_dist(data.size(), 0.0);
+    constexpr std::size_t kSeriesPerShard = 16;
+    util::parallel_for(0, data.size(), kSeriesPerShard,
+                       [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           double best = std::numeric_limits<double>::infinity();
+                           std::size_t best_c = prev_assignments[i];
+                           for (std::size_t c = 0; c < opts.k; ++c) {
+                             if (la::norm2(result.centroids[c]) == 0.0) continue;
+                             const double d = sbd_distance(result.centroids[c], data[i]);
+                             if (d < best) {
+                               best = d;
+                               best_c = c;
+                             }
+                           }
+                           result.assignments[i] = best_c;
+                           best_dist[i] = best;
+                         }
+                       });
+    result.inertia = 0.0;
+    for (const double d : best_dist) result.inertia += d;
 
     // Re-seed empty clusters with the series farthest from its centroid.
     for (std::size_t c = 0; c < opts.k; ++c) {

@@ -6,6 +6,7 @@
 #include "la/fft.hpp"
 #include "la/vector_ops.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace appscope::ts {
 
@@ -19,9 +20,7 @@ std::vector<double> ncc_c(std::span<const double> x, std::span<const double> y) 
 
   // cross_correlation(a, b)[k] = sum_j a[j + k - (m-1)] * b[j]; with a = x,
   // b = y, index k corresponds to shifting y right by s = k - (m-1).
-  std::vector<double> cc = la::cross_correlation(
-      std::vector<double>(x.begin(), x.end()),
-      std::vector<double>(y.begin(), y.end()));
+  std::vector<double> cc = la::cross_correlation(x, y);
   const double denom = nx * ny;
   for (double& v : cc) v /= denom;
   return cc;
@@ -57,6 +56,33 @@ std::vector<double> shift_series(std::span<const double> y, std::ptrdiff_t shift
 std::vector<double> align_to(std::span<const double> x, std::span<const double> y) {
   const SbdResult r = sbd(x, y);
   return shift_series(y, r.shift);
+}
+
+std::vector<std::vector<double>> sbd_distance_matrix(
+    const std::vector<std::vector<double>>& series) {
+  const std::size_t n = series.size();
+  APPSCOPE_REQUIRE(n >= 1, "sbd_distance_matrix: no series");
+  const std::size_t len = series.front().size();
+  for (const auto& s : series) {
+    APPSCOPE_REQUIRE(s.size() == len, "sbd_distance_matrix: ragged series");
+  }
+
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  // Row shards; later rows have shorter upper triangles, so a small grain
+  // keeps the shards balanced.
+  constexpr std::size_t kRowsPerShard = 4;
+  util::parallel_for(0, n, kRowsPerShard,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         for (std::size_t j = i + 1; j < n; ++j) {
+                           d[i][j] = sbd_distance(series[i], series[j]);
+                         }
+                       }
+                     });
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) d[j][i] = d[i][j];
+  }
+  return d;
 }
 
 }  // namespace appscope::ts

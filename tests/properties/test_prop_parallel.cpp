@@ -1,0 +1,167 @@
+// Determinism property: every parallelized pipeline stage produces output
+// bitwise identical to its single-threaded run, at any thread count. This
+// is the contract that lets the nationwide pipeline use all cores without
+// giving up the seeded reproducibility the repo is built on (fixed chunk
+// decomposition + ordered merges; see util/parallel.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/bootstrap.hpp"
+#include "stats/correlation.hpp"
+#include "synth/generator.hpp"
+#include "synth/scenario.hpp"
+#include "synth/sinks.hpp"
+#include "ts/hierarchical.hpp"
+#include "ts/kshape.hpp"
+#include "ts/sbd.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace appscope {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+std::vector<std::vector<double>> noisy_weekly_series(std::size_t count,
+                                                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> series;
+  series.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    std::vector<double> v(168);
+    const double phase = rng.uniform(0.0, 6.28);
+    for (std::size_t h = 0; h < v.size(); ++h) {
+      v[h] = 5.0 +
+             std::sin(2.0 * M_PI * static_cast<double>(h % 24) / 24.0 + phase) +
+             0.3 * rng.normal();
+    }
+    series.push_back(std::move(v));
+  }
+  return series;
+}
+
+/// Runs `fn` once per thread count and checks all results compare equal
+/// (operator== on vectors of doubles is elementwise bitwise here — the
+/// pipelines never produce NaNs).
+template <typename Fn>
+void expect_identical_across_thread_counts(Fn&& fn) {
+  using Result = decltype(fn());
+  ASSERT_GT(std::size(kThreadCounts), 0u);
+  util::ThreadPool::set_global_threads(kThreadCounts[0]);
+  const Result reference = fn();
+  for (std::size_t t = 1; t < std::size(kThreadCounts); ++t) {
+    util::ThreadPool::set_global_threads(kThreadCounts[t]);
+    const Result got = fn();
+    EXPECT_TRUE(got == reference)
+        << "output differs at " << kThreadCounts[t] << " threads";
+  }
+  util::ThreadPool::set_global_threads(0);
+}
+
+TEST(ParallelDeterminism, AnalyticGeneratorIsBitwiseIdentical) {
+  const auto config = synth::ScenarioConfig::test_scale();
+  const geo::Territory territory = geo::build_synthetic_country(config.country);
+  const workload::SubscriberBase subscribers(territory, config.population);
+  const workload::ServiceCatalog catalog =
+      workload::ServiceCatalog::paper_services();
+  const synth::AnalyticGenerator gen(territory, subscribers, catalog,
+                                     config.traffic_seed,
+                                     config.temporal_noise_sigma);
+
+  expect_identical_across_thread_counts([&] {
+    synth::NationalSeriesSink national(catalog.size());
+    synth::CommuneTotalsSink communes(catalog.size(), territory.size());
+    synth::BufferSink cells;
+    synth::FanoutSink fan({&national, &communes, &cells});
+    gen.generate(fan);
+
+    // Flatten everything the sinks observed, including the raw cell
+    // stream order.
+    std::vector<double> flat;
+    for (std::size_t s = 0; s < catalog.size(); ++s) {
+      for (const auto d :
+           {workload::Direction::kDownlink, workload::Direction::kUplink}) {
+        const auto& series = national.series(s, d);
+        flat.insert(flat.end(), series.begin(), series.end());
+        const auto totals = communes.commune_vector(s, d);
+        flat.insert(flat.end(), totals.begin(), totals.end());
+      }
+    }
+    for (const auto& cell : cells.cells()) {
+      flat.push_back(static_cast<double>(cell.service));
+      flat.push_back(static_cast<double>(cell.commune));
+      flat.push_back(static_cast<double>(cell.week_hour));
+      flat.push_back(cell.downlink_bytes);
+      flat.push_back(cell.uplink_bytes);
+    }
+    return flat;
+  });
+}
+
+TEST(ParallelDeterminism, KShapeIsBitwiseIdentical) {
+  const auto series = noisy_weekly_series(40, 11);
+  ts::KShapeOptions opts;
+  opts.k = 5;
+
+  expect_identical_across_thread_counts([&] {
+    const ts::KShapeResult result = ts::kshape(series, opts);
+    std::vector<double> flat;
+    for (const std::size_t a : result.assignments) {
+      flat.push_back(static_cast<double>(a));
+    }
+    for (const auto& centroid : result.centroids) {
+      flat.insert(flat.end(), centroid.begin(), centroid.end());
+    }
+    flat.push_back(result.inertia);
+    flat.push_back(static_cast<double>(result.iterations));
+    return flat;
+  });
+}
+
+TEST(ParallelDeterminism, PairwiseR2IsBitwiseIdentical) {
+  const auto vectors = noisy_weekly_series(30, 23);
+  expect_identical_across_thread_counts([&] {
+    const la::Matrix m = stats::pairwise_r2(vectors);
+    return std::vector<double>(m.data().begin(), m.data().end());
+  });
+}
+
+TEST(ParallelDeterminism, SbdDistanceMatrixIsBitwiseIdentical) {
+  const auto series = noisy_weekly_series(25, 37);
+  expect_identical_across_thread_counts(
+      [&] { return ts::sbd_distance_matrix(series); });
+}
+
+TEST(ParallelDeterminism, HierarchicalClusteringIsBitwiseIdentical) {
+  const auto series = noisy_weekly_series(20, 41);
+  expect_identical_across_thread_counts([&] {
+    const ts::Dendrogram dendrogram = ts::hierarchical_cluster(
+        series,
+        [](std::span<const double> a, std::span<const double> b) {
+          return ts::sbd_distance(a, b);
+        },
+        ts::Linkage::kAverage);
+    std::vector<double> flat;
+    for (const auto& m : dendrogram.merges) {
+      flat.push_back(static_cast<double>(m.left));
+      flat.push_back(static_cast<double>(m.right));
+      flat.push_back(m.distance);
+    }
+    return flat;
+  });
+}
+
+TEST(ParallelDeterminism, BootstrapIsThreadCountInvariant) {
+  util::Rng rng(3);
+  std::vector<double> sample(300);
+  for (double& v : sample) v = rng.lognormal(0.0, 0.5);
+  expect_identical_across_thread_counts([&] {
+    const stats::BootstrapCi ci = stats::bootstrap_mean_ci(sample, 500, 0.05, 9);
+    return std::vector<double>{ci.point, ci.lower, ci.upper};
+  });
+}
+
+}  // namespace
+}  // namespace appscope

@@ -1,0 +1,200 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace appscope::util {
+namespace {
+
+TEST(ParallelPool, RunCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 257;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run(kTasks, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelPool, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.run(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<std::int64_t>(i));
+    });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ParallelPool, BatchesActuallyRunOnMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::set<std::thread::id> ids;
+  // Enough tasks that at least one background worker must pick some up;
+  // each task briefly yields so the caller cannot drain the batch alone.
+  pool.run(64, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::lock_guard<std::mutex> lock(m);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(ParallelPool, ExceptionPropagatesFromWorkerTask) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run(32,
+                        [&](std::size_t i) {
+                          if (i == 7) {
+                            throw PreconditionError("task 7 failed");
+                          }
+                        }),
+               PreconditionError);
+  // The pool survives a throwing batch.
+  std::atomic<int> count{0};
+  pool.run(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ParallelPool, LowestIndexExceptionWins) {
+  ThreadPool pool(8);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    try {
+      pool.run(64, [&](std::size_t i) {
+        if (i % 3 == 1) {
+          throw PreconditionError("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected PreconditionError";
+    } catch (const PreconditionError& e) {
+      EXPECT_STREQ(e.what(), "task 1");
+    }
+  }
+}
+
+TEST(ParallelPool, ResizeRestartsWorkers) {
+  ThreadPool pool(2);
+  pool.resize(5);
+  EXPECT_EQ(pool.thread_count(), 5u);
+  std::atomic<int> count{0};
+  pool.run(20, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 20);
+  pool.resize(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  pool.run(20, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(ParallelPool, NestedRunExecutesInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.run(8, [&](std::size_t) {
+    // A nested batch from inside a worker must not deadlock on the busy
+    // pool; it runs inline on the current thread.
+    ThreadPool::global().run(4, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ParallelPool, DefaultThreadCountReadsEnvVar) {
+  ::setenv("APPSCOPE_THREADS", "6", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 6u);
+  ::setenv("APPSCOPE_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  ::setenv("APPSCOPE_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  ::unsetenv("APPSCOPE_THREADS");
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ParallelFor, ChunksPartitionTheRange) {
+  ThreadPool::set_global_threads(4);
+  std::vector<int> hits(103, 0);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(3, 103, 10, [&](std::size_t lo, std::size_t hi) {
+    {
+      const std::lock_guard<std::mutex> lock(m);
+      chunks.emplace_back(lo, hi);
+    }
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i], 0) << i;
+  for (std::size_t i = 3; i < 103; ++i) EXPECT_EQ(hits[i], 1) << i;
+  EXPECT_EQ(chunks.size(), 10u);  // (103 - 3) / 10
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ((lo - 3) % 10, 0u);
+    EXPECT_EQ(hi, std::min<std::size_t>(lo + 10, 103));
+  }
+  ThreadPool::set_global_threads(0);
+}
+
+TEST(ParallelFor, EmptyRangeAndPreconditions) {
+  parallel_for(5, 5, 4, [](std::size_t, std::size_t) { FAIL(); });
+  EXPECT_THROW(parallel_for(0, 10, 0, [](std::size_t, std::size_t) {}),
+               PreconditionError);
+  EXPECT_THROW(parallel_for(10, 5, 1, [](std::size_t, std::size_t) {}),
+               PreconditionError);
+}
+
+TEST(ParallelMapReduce, MergesPartialsInChunkIndexOrder) {
+  ThreadPool::set_global_threads(8);
+  // Each chunk maps to the list of its indices; the ordered merge must
+  // reassemble 0..N-1 exactly, at any thread count.
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::size_t> merged;
+    std::size_t expected_chunk = 0;
+    parallel_map_reduce<std::vector<std::size_t>>(
+        0, 1000, 7,
+        [](std::size_t lo, std::size_t hi) {
+          std::vector<std::size_t> out;
+          for (std::size_t i = lo; i < hi; ++i) out.push_back(i);
+          return out;
+        },
+        [&](std::vector<std::size_t>&& partial, std::size_t chunk_index) {
+          EXPECT_EQ(chunk_index, expected_chunk++);
+          merged.insert(merged.end(), partial.begin(), partial.end());
+        });
+    ASSERT_EQ(merged.size(), 1000u);
+    for (std::size_t i = 0; i < merged.size(); ++i) EXPECT_EQ(merged[i], i);
+  }
+  ThreadPool::set_global_threads(0);
+}
+
+TEST(ParallelMapReduce, OrderedReduceIsBitwiseStableAcrossThreadCounts) {
+  // Chunked float accumulation with an ordered merge: identical partial
+  // sums in identical order => identical rounding at every thread count.
+  const auto run_at = [](std::size_t threads) {
+    ThreadPool::set_global_threads(threads);
+    double total = 0.0;
+    parallel_map_reduce<double>(
+        0, 10007, 97,
+        [](std::size_t lo, std::size_t hi) {
+          double acc = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            acc += 1.0 / (1.0 + static_cast<double>(i));
+          }
+          return acc;
+        },
+        [&total](double partial, std::size_t) { total += partial; });
+    return total;
+  };
+  const double at1 = run_at(1);
+  const double at2 = run_at(2);
+  const double at8 = run_at(8);
+  EXPECT_EQ(at1, at2);
+  EXPECT_EQ(at1, at8);
+  ThreadPool::set_global_threads(0);
+}
+
+}  // namespace
+}  // namespace appscope::util

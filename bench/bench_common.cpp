@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace appscope::bench {
@@ -19,6 +20,10 @@ std::string scale_name(int argc, char** argv) {
 }  // namespace
 
 synth::ScenarioConfig select_scenario(int argc, char** argv) {
+  // Every bench binary passes through here first, so this is where the
+  // APPSCOPE_METRICS=1 contract is anchored: metrics.json is written at
+  // process exit when metrics are enabled.
+  util::write_metrics_at_exit();
   const std::string name = scale_name(argc, argv);
   if (name == "test") return synth::ScenarioConfig::test_scale();
   if (name == "paper") return synth::ScenarioConfig::paper_scale();

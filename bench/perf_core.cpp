@@ -13,6 +13,7 @@
 #include "ts/kshape.hpp"
 #include "ts/peaks.hpp"
 #include "ts/sbd.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -94,7 +95,10 @@ void BM_KMeansBaseline(benchmark::State& state) {
 BENCHMARK(BM_KMeansBaseline)->Arg(2)->Arg(5)->Arg(10);
 
 void BM_PeakDetection(benchmark::State& state) {
-  const auto series = random_series(168, 9);
+  // Offset to a strictly positive level: the default options detrend by a
+  // moving-median baseline, which requires a positive series.
+  auto series = random_series(168, 9);
+  for (double& v : series) v += 10.0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(ts::detect_peaks(series, {}));
   }
@@ -243,4 +247,14 @@ BENCHMARK(BM_KShapeThreads)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with the observability hook: when
+// APPSCOPE_METRICS=1, the per-stage timers recorded while the benchmarks ran
+// are exported to metrics.json (or APPSCOPE_METRICS_PATH) at exit.
+int main(int argc, char** argv) {
+  appscope::util::write_metrics_at_exit();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

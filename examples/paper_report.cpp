@@ -11,11 +11,15 @@
 #include "core/dataset_io.hpp"
 #include "core/report.hpp"
 #include "util/cli.hpp"
+#include "util/metrics.hpp"
 
 using namespace appscope;
 
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
+  // APPSCOPE_METRICS=1 exports the per-stage timings of the run to
+  // metrics.json (or APPSCOPE_METRICS_PATH) when the process exits.
+  util::write_metrics_at_exit();
 
   synth::ScenarioConfig config = synth::ScenarioConfig::test_scale();
   const std::string scale = args.get_string("scale", "test");

@@ -1,13 +1,40 @@
 #!/usr/bin/env bash
 # Full verification: configure, build (warnings as errors), run every test,
 # every figure bench and every example. This is the CI entry point.
+#
+# Flags (combinable, any order):
+#   --tsan     rebuild with ThreadSanitizer and run the Parallel* tests
+#              (also enabled by APPSCOPE_TSAN=1)
+#   --metrics  run an instrumented bench and assert metrics.json is
+#              produced and well-formed (also enabled by APPSCOPE_METRICS_CHECK=1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-check}"
 
-cmake -B "$BUILD_DIR" -G Ninja -DAPPSCOPE_WARNINGS_AS_ERRORS=ON
-cmake --build "$BUILD_DIR"
+RUN_TSAN="${APPSCOPE_TSAN:-0}"
+RUN_METRICS="${APPSCOPE_METRICS_CHECK:-0}"
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) RUN_TSAN=1 ;;
+    --metrics) RUN_METRICS=1 ;;
+    *) echo "usage: $0 [--tsan] [--metrics]" >&2; exit 2 ;;
+  esac
+done
+
+# Prefer Ninja but don't require it: fall back to CMake's default generator
+# when ninja is not installed. An existing cache keeps whatever generator
+# configured it (passing -G against a differently-configured cache errors).
+generator_args() {
+  local dir="$1"
+  if [ ! -f "$dir/CMakeCache.txt" ] && command -v ninja > /dev/null 2>&1; then
+    echo "-G Ninja"
+  fi
+}
+
+# shellcheck disable=SC2046  # generator_args is intentionally word-split
+cmake -B "$BUILD_DIR" $(generator_args "$BUILD_DIR") -DAPPSCOPE_WARNINGS_AS_ERRORS=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" -j"$(nproc)" --output-on-failure
 
 for b in "$BUILD_DIR"/bench/*; do
@@ -22,17 +49,52 @@ for e in "$BUILD_DIR"/examples/*; do
   "$e" > /dev/null
 done
 
+# Observability check (--metrics): run one instrumented bench with
+# APPSCOPE_METRICS=1 and assert the machine-readable metrics document is
+# written and well-formed (schema, stage timings, spans).
+if [ "$RUN_METRICS" != "0" ]; then
+  echo "==== metrics.json validation"
+  METRICS_FILE="$BUILD_DIR/metrics-check.json"
+  rm -f "$METRICS_FILE"
+  APPSCOPE_METRICS=1 APPSCOPE_METRICS_PATH="$METRICS_FILE" APPSCOPE_SCALE=test \
+    "$BUILD_DIR"/bench/perf_core \
+    --benchmark_filter='BM_KShape/2$|BM_PeakDetection' \
+    --benchmark_min_time=0.05 > /dev/null
+  if [ ! -s "$METRICS_FILE" ]; then
+    echo "FAIL: $METRICS_FILE was not written" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$METRICS_FILE" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "appscope.metrics/1", doc.get("schema")
+for key in ("counters", "gauges", "histograms", "spans", "spans_dropped"):
+    assert key in doc, f"missing key: {key}"
+assert any(k.startswith("stage.") for k in doc["histograms"]), "no stage timings"
+assert any(k.endswith(".calls") for k in doc["counters"]), "no stage call counters"
+print(f"metrics OK: {len(doc['counters'])} counters, "
+      f"{len(doc['histograms'])} histograms, {len(doc['spans'])} spans")
+PY
+  else
+    grep -q '"schema": "appscope.metrics/1"' "$METRICS_FILE"
+    grep -q '"stage\.' "$METRICS_FILE"
+    echo "metrics OK (grep validation; python3 unavailable)"
+  fi
+fi
+
 # Optional ThreadSanitizer pass over the parallel/determinism tests
 # (APPSCOPE_TSAN=1 or --tsan): rebuilds with -DAPPSCOPE_SANITIZE=thread and
 # runs every Parallel* test under TSan.
-if [ "${APPSCOPE_TSAN:-0}" != "0" ] || [ "${1:-}" = "--tsan" ]; then
+if [ "$RUN_TSAN" != "0" ]; then
   TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
   echo "==== TSan pass ($TSAN_BUILD_DIR)"
-  cmake -B "$TSAN_BUILD_DIR" -G Ninja \
+  # shellcheck disable=SC2046
+  cmake -B "$TSAN_BUILD_DIR" $(generator_args "$TSAN_BUILD_DIR") \
     -DAPPSCOPE_SANITIZE=thread \
     -DAPPSCOPE_BUILD_BENCH=OFF \
     -DAPPSCOPE_BUILD_EXAMPLES=OFF
-  cmake --build "$TSAN_BUILD_DIR"
+  cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)"
   ctest --test-dir "$TSAN_BUILD_DIR" -R '^Parallel' --output-on-failure
 fi
 

@@ -29,6 +29,15 @@ struct StudyOptions {
   /// util::ThreadPool before the analyses run. Results are identical at
   /// every setting — this is a throughput knob only.
   std::size_t threads = 0;
+  /// Turn on the util::MetricsRegistry for this run (per-stage timers,
+  /// thread-pool utilization, trace spans). Metrics are pure observation:
+  /// the report is bitwise identical with metrics on or off. The
+  /// APPSCOPE_METRICS environment variable enables collection too; this
+  /// flag only ever switches it on, never off.
+  bool metrics = false;
+  /// When non-empty (and metrics are enabled), run_study writes the
+  /// machine-readable metrics document here after the analyses finish.
+  std::string metrics_path;
 };
 
 struct StudyReport {

@@ -6,7 +6,9 @@
 
 #include "geo/spatial_index.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 #include "workload/spatial_profile.hpp"
 #include "workload/temporal_profile.hpp"
 
@@ -41,6 +43,8 @@ SessionSimulator::SessionSimulator(const geo::Territory& territory,
 }
 
 SessionSimReport SessionSimulator::run(const Probe::Sink& sink) {
+  const util::ScopedSpan span("net.session_sim");
+  util::StageTimer timer("net.session_sim");
   // Co-located gateways with one probe tapping both interfaces (Fig. 1).
   Probe probe(cells_, dpi_);
   probe.set_sink(sink);
@@ -170,6 +174,19 @@ SessionSimReport SessionSimulator::run(const Probe::Sink& sink) {
   }
 
   report.probe = probe.counters();
+  if (timer.active()) {
+    // DPI classification accounting: recorded from the probe's own
+    // counters at the end, so the per-record hot path stays untouched.
+    timer.add_items(report.sessions);
+    timer.add_bytes(static_cast<std::uint64_t>(report.offered_downlink) +
+                    static_cast<std::uint64_t>(report.offered_uplink));
+    util::MetricsRegistry& reg = util::MetricsRegistry::global();
+    reg.add("net.dpi.gtpu_records", report.probe.gtpu_records);
+    reg.add("net.dpi.classified_bytes", report.probe.classified_bytes);
+    reg.add("net.dpi.unclassified_bytes", report.probe.unclassified_bytes);
+    reg.gauge("net.dpi.classified_fraction",
+              report.probe.classified_fraction());
+  }
   return report;
 }
 

@@ -5,6 +5,7 @@
 
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -19,6 +20,8 @@ BootstrapCi bootstrap_ci(std::span<const double> sample, std::size_t iterations,
   APPSCOPE_REQUIRE(!sample.empty(), "bootstrap: empty sample");
   APPSCOPE_REQUIRE(iterations >= 100, "bootstrap: needs >= 100 iterations");
   APPSCOPE_REQUIRE(alpha > 0.0 && alpha < 0.5, "bootstrap: alpha in (0, 0.5)");
+  util::StageTimer timer("stats.bootstrap");
+  timer.add_items(iterations);
 
   // Replicates fan out across the pool, each drawing from its own forked
   // stream base.fork(it): replicate `it` resamples identically no matter

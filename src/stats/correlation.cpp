@@ -6,7 +6,9 @@
 
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace appscope::stats {
 
@@ -80,6 +82,9 @@ la::Matrix pairwise_r2(const std::vector<std::vector<double>>& vectors) {
     APPSCOPE_REQUIRE(v.size() == len, "pairwise_r2: ragged vectors");
   }
   const std::size_t n = vectors.size();
+  const util::ScopedSpan span("stats.pairwise_r2");
+  util::StageTimer timer("stats.pairwise_r2");
+  timer.add_items(n * n);  // matrix entries filled (mirrored pairs included)
   // Row-sharded fill over the global pool: every (i, j) entry is an
   // independent pearson_r2, so the matrix is bitwise identical at any
   // thread count. Shards own disjoint upper-triangle rows (and the

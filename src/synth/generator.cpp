@@ -1,8 +1,10 @@
 #include "synth/generator.hpp"
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 #include "workload/spatial_profile.hpp"
 #include "workload/temporal_profile.hpp"
 
@@ -93,6 +95,8 @@ void AnalyticGenerator::generate_commune(const geo::Commune& commune,
 }
 
 void AnalyticGenerator::generate(TrafficSink& sink) const {
+  const util::ScopedSpan span("synth.generate");
+  util::StageTimer timer("synth.generate");
   const auto& communes = territory_.communes();
   // Fixed shard grain: the decomposition (and so the replay order) is the
   // same at every thread count. Each commune's noise stream is seeded by
@@ -108,7 +112,13 @@ void AnalyticGenerator::generate(TrafficSink& sink) const {
         }
         return buffer;
       },
-      [&sink](BufferSink&& buffer, std::size_t) { buffer.replay_into(sink); });
+      [&sink, &timer](BufferSink&& buffer, std::size_t) {
+        // Items/bytes accounting per shard (not per cell) keeps the
+        // instrumented hot path allocation- and atomic-light.
+        timer.add_items(buffer.size());
+        timer.add_bytes(buffer.size() * sizeof(TrafficCell));
+        buffer.replay_into(sink);
+      });
 }
 
 }  // namespace appscope::synth

@@ -10,8 +10,10 @@
 #include "ts/sbd.hpp"
 #include "ts/znorm.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace appscope::ts {
 
@@ -107,6 +109,9 @@ std::vector<double> shape_extract(const std::vector<std::vector<double>>& member
 
 KShapeResult kshape(const std::vector<std::vector<double>>& series,
                     const KShapeOptions& opts) {
+  const util::ScopedSpan span("ts.kshape");
+  util::StageTimer timer("ts.kshape");
+  timer.add_items(series.size());
   APPSCOPE_REQUIRE(!series.empty(), "kshape: no series");
   APPSCOPE_REQUIRE(opts.k >= 1 && opts.k <= series.size(),
                    "kshape: k must be in [1, #series]");
@@ -151,12 +156,15 @@ KShapeResult kshape(const std::vector<std::vector<double>>& series,
     for (std::size_t i = 0; i < data.size(); ++i) {
       cluster_members[result.assignments[i]].push_back(data[i]);
     }
-    util::parallel_for(0, opts.k, 1, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t c = lo; c < hi; ++c) {
-        if (cluster_members[c].empty()) continue;  // re-seeded after assignment
-        result.centroids[c] = shape_extract(cluster_members[c], result.centroids[c]);
-      }
-    });
+    {
+      const util::ScopedSpan refine_span("ts.kshape.refine");
+      util::parallel_for(0, opts.k, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          if (cluster_members[c].empty()) continue;  // re-seeded after assignment
+          result.centroids[c] = shape_extract(cluster_members[c], result.centroids[c]);
+        }
+      });
+    }
 
     // Assignment: nearest centroid by SBD. Each series' N × k distance scan
     // is independent; the inertia fold stays serial (in series order) so the

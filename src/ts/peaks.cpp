@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace appscope::ts {
 
@@ -17,6 +18,9 @@ PeakDetection detect_peaks(std::span<const double> series,
                    "detect_peaks: influence must be in [0,1]");
   APPSCOPE_REQUIRE(opts.min_relative_deviation >= 0.0,
                    "detect_peaks: min_relative_deviation must be >= 0");
+
+  util::StageTimer timer("ts.peak_detect");
+  timer.add_items(series.size());
 
   const std::size_t n = series.size();
   PeakDetection out;

@@ -6,7 +6,9 @@
 #include "la/fft.hpp"
 #include "la/vector_ops.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace appscope::ts {
 
@@ -66,6 +68,9 @@ std::vector<std::vector<double>> sbd_distance_matrix(
   for (const auto& s : series) {
     APPSCOPE_REQUIRE(s.size() == len, "sbd_distance_matrix: ragged series");
   }
+  const util::ScopedSpan span("ts.sbd_matrix");
+  util::StageTimer timer("ts.sbd_matrix");
+  timer.add_items(n * (n - 1) / 2);  // pairwise distances computed
 
   std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
   // Row shards; later rows have shorter upper triangles, so a small grain

@@ -1,11 +1,14 @@
 #include "util/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <limits>
 #include <string>
 #include <thread>
+
+#include "util/metrics.hpp"
 
 namespace appscope::util {
 
@@ -23,6 +26,10 @@ struct ThreadPool::Batch {
   std::atomic<std::size_t> next{0};
   std::exception_ptr error;
   std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  /// Observability (sampled only when metrics are enabled at submit time):
+  /// summed per-participant busy nanoseconds, for batch utilization.
+  bool metrics = false;
+  std::atomic<std::uint64_t> busy_ns{0};
 };
 
 class ThreadPool::Impl {
@@ -41,9 +48,13 @@ class ThreadPool::Impl {
 
   void run(std::size_t count, const std::function<void(std::size_t)>& task) {
     if (count == 0) return;
+    const bool metrics = MetricsRegistry::enabled();
     if (count == 1 || thread_count_ <= 1 || t_inside_pool_worker) {
       // Inline path with the same semantics as the pooled one: every task
       // runs, the lowest-index failure is rethrown.
+      if (metrics) {
+        MetricsRegistry::global().add("pool.inline_tasks", count);
+      }
       std::exception_ptr error;
       for (std::size_t i = 0; i < count; ++i) {
         try {
@@ -60,6 +71,9 @@ class ThreadPool::Impl {
     Batch batch;
     batch.task = &task;
     batch.count = count;
+    batch.metrics = metrics;
+    const auto t0 = metrics ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{};
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       current_ = &batch;
@@ -73,6 +87,27 @@ class ThreadPool::Impl {
     current_ = nullptr;  // late workers must not enter the drained batch
     batch_done_.wait(lock, [this] { return workers_inside_ == 0; });
     lock.unlock();
+    if (metrics) {
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      MetricsRegistry& reg = MetricsRegistry::global();
+      reg.add("pool.batches");
+      reg.add("pool.tasks", count);
+      reg.gauge("pool.threads", static_cast<double>(thread_count_));
+      // Queue depth at submission: how many tasks entered the batch queue.
+      reg.observe("pool.batch.tasks", static_cast<double>(count));
+      reg.observe("pool.batch.wall_seconds", wall);
+      if (wall > 0.0) {
+        // Fraction of the pool's capacity (threads x wall) actually spent
+        // executing tasks during this batch.
+        const double busy =
+            static_cast<double>(batch.busy_ns.load(std::memory_order_relaxed)) *
+            1e-9;
+        reg.observe("pool.batch.utilization",
+                    busy / (wall * static_cast<double>(thread_count_)));
+      }
+    }
     if (batch.error) std::rethrow_exception(batch.error);
   }
 
@@ -97,9 +132,13 @@ class ThreadPool::Impl {
   }
 
   void work_on(Batch& batch) {
+    const auto t0 = batch.metrics ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
+    std::size_t executed = 0;
     for (;;) {
       const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= batch.count) return;
+      if (i >= batch.count) break;
+      ++executed;
       try {
         (*batch.task)(i);
       } catch (...) {
@@ -109,6 +148,18 @@ class ThreadPool::Impl {
           batch.error = std::current_exception();
         }
       }
+    }
+    if (batch.metrics && executed > 0) {
+      const auto busy = std::chrono::steady_clock::now() - t0;
+      batch.busy_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(busy)
+                  .count()),
+          std::memory_order_relaxed);
+      MetricsRegistry& reg = MetricsRegistry::global();
+      reg.add("pool.worker_tasks", executed);
+      reg.observe("pool.worker.busy_seconds",
+                  std::chrono::duration<double>(busy).count());
     }
   }
 

@@ -1,0 +1,138 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <tuple>
+
+#include "util/metrics.hpp"
+
+namespace appscope::util {
+
+namespace {
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Thread-local cache of (recorder id -> shard). Ids are never reused, so a
+/// stale entry for a destroyed recorder can never be matched (and is never
+/// dereferenced).
+struct ShardRef {
+  std::uint64_t recorder_id;
+  void* shard;
+};
+thread_local std::vector<ShardRef> t_trace_shards;
+
+/// Per-thread span nesting depth (ScopedSpan construction/destruction is
+/// strictly stack-ordered per thread).
+thread_local std::uint32_t t_span_depth = 0;
+
+}  // namespace
+
+struct TraceRecorder::Shard {
+  std::mutex mutex;  // guards events/dropped against concurrent snapshot
+  std::uint32_t thread_index = 0;
+  std::deque<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+TraceRecorder::TraceRecorder()
+    : id_(next_recorder_id()), epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+std::uint64_t TraceRecorder::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceRecorder::Shard& TraceRecorder::local_shard() {
+  for (const ShardRef& ref : t_trace_shards) {
+    if (ref.recorder_id == id_) return *static_cast<Shard*>(ref.shard);
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  shard->thread_index = static_cast<std::uint32_t>(shards_.size() - 1);
+  t_trace_shards.push_back({id_, shard});
+  return *shard;
+}
+
+void TraceRecorder::record(std::string name, std::uint64_t start_ns,
+                           std::uint64_t duration_ns, std::uint32_t depth) {
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.events.size() >= kMaxEventsPerThread) {
+    ++shard.dropped;
+    return;
+  }
+  TraceEvent event;
+  event.name = std::move(name);
+  event.thread = shard.thread_index;
+  event.depth = depth;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  shard.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    out.insert(out.end(), shard->events.begin(), shard->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return std::tie(a.start_ns, a.thread, a.depth) <
+                     std::tie(b.start_ns, b.thread, b.depth);
+            });
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped_events() const {
+  std::uint64_t total = 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    total += shard->dropped;
+  }
+  return total;
+}
+
+void TraceRecorder::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    shard->events.clear();
+    shard->dropped = 0;
+  }
+}
+
+TraceRecorder& TraceRecorder::global() {
+  // Intentionally immortal: pool workers and atexit exporters may record or
+  // scrape during process teardown.
+  static auto* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+ScopedSpan::ScopedSpan(std::string name)
+    : active_(MetricsRegistry::enabled()), name_(std::move(name)) {
+  if (!active_) return;
+  depth_ = t_span_depth++;
+  start_ns_ = TraceRecorder::global().now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --t_span_depth;
+  const std::uint64_t end_ns = TraceRecorder::global().now_ns();
+  TraceRecorder::global().record(std::move(name_), start_ns_,
+                                 end_ns - start_ns_, depth_);
+}
+
+}  // namespace appscope::util

@@ -1,0 +1,86 @@
+// appscope/util/trace.hpp
+//
+// Lightweight span tracing for the pipeline: ScopedSpan records one named
+// interval (wall-clock start + duration + nesting depth) into a per-thread
+// buffer of the process-wide TraceRecorder; the merged, time-ordered span
+// list is exported into metrics.json ("spans") by util/metrics.hpp.
+//
+// Same gating contract as the metrics registry: spans record only while
+// MetricsRegistry::enabled() is true, and recording never feeds back into
+// any analysis result.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace appscope::util {
+
+struct TraceEvent {
+  std::string name;
+  /// Recorder-assigned dense thread index (0 = first recording thread).
+  std::uint32_t thread = 0;
+  /// Nesting depth of the span on its thread (0 = outermost).
+  std::uint32_t depth = 0;
+  /// Start offset since the recorder's epoch, and span length.
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Monotonic nanoseconds since this recorder was constructed.
+  std::uint64_t now_ns() const noexcept;
+
+  /// Appends one finished span to the calling thread's buffer. Buffers are
+  /// capped at kMaxEventsPerThread; overflow increments the dropped count
+  /// instead of recording (exported so caps are never silent).
+  void record(std::string name, std::uint64_t start_ns,
+              std::uint64_t duration_ns, std::uint32_t depth);
+
+  /// All recorded spans, merged and sorted by (start_ns, thread, depth).
+  std::vector<TraceEvent> snapshot() const;
+  /// Spans discarded due to the per-thread cap, summed over threads.
+  std::uint64_t dropped_events() const;
+  void reset();
+
+  static TraceRecorder& global();
+
+  static constexpr std::size_t kMaxEventsPerThread = 1 << 16;
+
+ private:
+  struct Shard;
+  Shard& local_shard();
+
+  const std::uint64_t id_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// RAII span: construction stamps the start, destruction records the event
+/// into TraceRecorder::global(). Inert when metrics are disabled at
+/// construction time. Spans nest; depth is tracked per thread.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+  std::string name_;
+  std::uint32_t depth_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace appscope::util

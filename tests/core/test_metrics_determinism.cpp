@@ -1,0 +1,137 @@
+// Metrics are pure observation: every instrumented stage must produce
+// bitwise-identical results whether the metrics gate is on or off. Each
+// case below runs one instrumented pipeline stage both ways and compares
+// the outputs exactly (doubles with ==, not tolerances).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geo/territory.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/correlation.hpp"
+#include "synth/generator.hpp"
+#include "synth/scenario.hpp"
+#include "synth/sinks.hpp"
+#include "ts/kshape.hpp"
+#include "ts/peaks.hpp"
+#include "ts/sbd.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/trace.hpp"
+#include "workload/catalog.hpp"
+#include "workload/population.hpp"
+
+namespace appscope {
+namespace {
+
+/// Runs `fn` twice — metrics gate off, then on — and returns both results.
+template <typename Fn>
+auto both_ways(Fn&& fn) {
+  const bool was = util::MetricsRegistry::enabled();
+  util::MetricsRegistry::set_enabled(false);
+  auto off = fn();
+  util::MetricsRegistry::set_enabled(true);
+  auto on = fn();
+  util::MetricsRegistry::set_enabled(was);
+  util::MetricsRegistry::global().reset();
+  util::TraceRecorder::global().reset();
+  return std::pair(std::move(off), std::move(on));
+}
+
+std::vector<std::vector<double>> fixture_series(std::size_t count) {
+  std::vector<std::vector<double>> series;
+  util::Rng rng(41);
+  for (std::size_t s = 0; s < count; ++s) {
+    std::vector<double> v(168);
+    const double phase = rng.uniform(0.0, 6.28);
+    for (std::size_t h = 0; h < v.size(); ++h) {
+      v[h] = 5.0 +
+             std::sin(2.0 * M_PI * static_cast<double>(h % 24) / 24.0 + phase) +
+             0.3 * rng.normal();
+    }
+    series.push_back(std::move(v));
+  }
+  return series;
+}
+
+TEST(MetricsDeterminism, GeneratorCellStreamIsIdentical) {
+  auto config = synth::ScenarioConfig::test_scale();
+  config.country.commune_count = 200;
+  const geo::Territory territory = geo::build_synthetic_country(config.country);
+  const workload::SubscriberBase subscribers(territory, config.population);
+  const workload::ServiceCatalog catalog =
+      workload::ServiceCatalog::paper_services();
+  const synth::AnalyticGenerator gen(territory, subscribers, catalog,
+                                     config.traffic_seed,
+                                     config.temporal_noise_sigma);
+  const auto [off, on] = both_ways([&gen] {
+    synth::BufferSink buffer;
+    gen.generate(buffer);
+    return buffer;
+  });
+  ASSERT_EQ(off.size(), on.size());
+  // Bitwise equality of the whole cell stream, including the doubles
+  // (field-wise, so struct padding never enters the comparison).
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    const synth::TrafficCell& a = off.cells()[i];
+    const synth::TrafficCell& b = on.cells()[i];
+    ASSERT_EQ(a.service, b.service) << i;
+    ASSERT_EQ(a.commune, b.commune) << i;
+    ASSERT_EQ(a.week_hour, b.week_hour) << i;
+    ASSERT_EQ(a.urbanization, b.urbanization) << i;
+    ASSERT_EQ(a.downlink_bytes, b.downlink_bytes) << i;
+    ASSERT_EQ(a.uplink_bytes, b.uplink_bytes) << i;
+  }
+}
+
+TEST(MetricsDeterminism, ClusteringIsIdentical) {
+  const auto series = fixture_series(24);
+  ts::KShapeOptions opts;
+  opts.k = 4;
+  const auto [off, on] =
+      both_ways([&] { return ts::kshape(series, opts); });
+  EXPECT_EQ(off.assignments, on.assignments);
+  EXPECT_EQ(off.iterations, on.iterations);
+  EXPECT_EQ(off.centroids, on.centroids);
+  EXPECT_EQ(off.inertia, on.inertia);
+}
+
+TEST(MetricsDeterminism, SbdMatrixIsIdentical) {
+  const auto series = fixture_series(16);
+  const auto [off, on] =
+      both_ways([&] { return ts::sbd_distance_matrix(series); });
+  EXPECT_EQ(off, on);
+}
+
+TEST(MetricsDeterminism, PeakDetectionIsIdentical) {
+  const auto series = fixture_series(1).front();
+  const auto [off, on] =
+      both_ways([&] { return ts::detect_peaks(series, {}); });
+  EXPECT_EQ(off.signal, on.signal);
+  EXPECT_EQ(off.processed, on.processed);
+  EXPECT_EQ(off.smoothed, on.smoothed);
+  EXPECT_EQ(off.rising_fronts, on.rising_fronts);
+}
+
+TEST(MetricsDeterminism, BootstrapAndCorrelationAreIdentical) {
+  const auto series = fixture_series(6);
+  const auto [off_ci, on_ci] = both_ways([&] {
+    return stats::bootstrap_mean_ci(series.front(), 400, 0.05, 99);
+  });
+  EXPECT_EQ(off_ci.point, on_ci.point);
+  EXPECT_EQ(off_ci.lower, on_ci.lower);
+  EXPECT_EQ(off_ci.upper, on_ci.upper);
+
+  const auto [off_r2, on_r2] =
+      both_ways([&] { return stats::pairwise_r2(series); });
+  ASSERT_EQ(off_r2.rows(), on_r2.rows());
+  for (std::size_t i = 0; i < off_r2.rows(); ++i) {
+    for (std::size_t j = 0; j < off_r2.cols(); ++j) {
+      EXPECT_EQ(off_r2(i, j), on_r2(i, j)) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace appscope

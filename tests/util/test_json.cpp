@@ -1,0 +1,110 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace appscope::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntegersStayIntegral) {
+  const Json i = Json::parse("9007199254740993");  // not representable as double
+  ASSERT_TRUE(i.is_integer());
+  EXPECT_EQ(i.as_int(), 9007199254740993LL);
+  EXPECT_FALSE(Json::parse("1.0").is_integer());
+  EXPECT_TRUE(Json::parse("1.0").is_number());
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const Json doc = Json::parse(R"({"a": [1, 2, {"b": null}], "c": {"d": true}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("a").at(0).as_int(), 1);
+  EXPECT_TRUE(doc.at("a").at(2).at("b").is_null());
+  EXPECT_TRUE(doc.at("c").at("d").as_bool());
+  EXPECT_TRUE(doc.contains("a"));
+  EXPECT_FALSE(doc.contains("z"));
+}
+
+TEST(Json, StringEscapes) {
+  const Json s = Json::parse(R"("line\nquote\"slash\\tab\tunicodeé")");
+  EXPECT_EQ(s.as_string(), "line\nquote\"slash\\tab\tunicode\xc3\xa9");
+  // Dump re-escapes control characters and quotes.
+  EXPECT_EQ(Json("a\"b\n").dump(), R"("a\"b\n")");
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  Json::Object obj;
+  obj["name"] = "stage.ts.kshape";
+  obj["count"] = std::int64_t{12};
+  obj["mean"] = 0.125;
+  obj["flags"] = Json::Array{Json(true), Json(nullptr), Json(-3)};
+  const Json doc{obj};
+  for (const int indent : {-1, 0, 2}) {
+    const Json back = Json::parse(doc.dump(indent));
+    EXPECT_EQ(back, doc) << "indent=" << indent;
+  }
+}
+
+TEST(Json, DumpIsByteStableAndSorted) {
+  // std::map object storage: insertion order never leaks into the dump.
+  Json::Object a;
+  a["z"] = 1;
+  a["a"] = 2;
+  Json::Object b;
+  b["a"] = 2;
+  b["z"] = 1;
+  EXPECT_EQ(Json(a).dump(), Json(b).dump());
+  EXPECT_EQ(Json(a).dump(), R"({"a":2,"z":1})");
+}
+
+TEST(Json, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, LargeUnsignedFallsBackToDouble) {
+  const auto big = std::numeric_limits<std::uint64_t>::max();
+  const Json j(big);
+  EXPECT_TRUE(j.is_number());
+  EXPECT_FALSE(j.is_integer());
+  EXPECT_DOUBLE_EQ(j.as_double(), static_cast<double>(big));
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW(Json::parse(""), InputError);
+  EXPECT_THROW(Json::parse("{"), InputError);
+  EXPECT_THROW(Json::parse("[1,]"), InputError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), InputError);
+  EXPECT_THROW(Json::parse("tru"), InputError);
+  EXPECT_THROW(Json::parse("1 2"), InputError);  // trailing garbage
+  EXPECT_THROW(Json::parse("\"unterminated"), InputError);
+}
+
+TEST(Json, AccessorKindMismatchThrows) {
+  const Json j = Json::parse("[1]");
+  EXPECT_THROW(j.as_object(), PreconditionError);
+  EXPECT_THROW(j.at("key"), PreconditionError);
+  EXPECT_THROW(j.at(5), PreconditionError);  // out of range
+  EXPECT_THROW(Json("text").as_int(), PreconditionError);
+  // Doubles outside the int64 range refuse to convert.
+  EXPECT_THROW(Json(1e300).as_int(), PreconditionError);
+  EXPECT_EQ(Json(3.0).as_int(), 3);
+}
+
+}  // namespace
+}  // namespace appscope::util

@@ -2,7 +2,10 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 
+#include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
 
@@ -56,6 +59,18 @@ void print_expectation(const std::string& label, const std::string& paper,
                        const std::string& measured) {
   std::cout << "  " << util::pad_right(label, 46) << " paper: "
             << util::pad_right(paper, 22) << " measured: " << measured << "\n";
+}
+
+void write_bench_baseline(const std::string& path,
+                          const std::map<std::string, double>& real_time_ns) {
+  util::Json::Object benchmarks;
+  for (const auto& [name, ns] : real_time_ns) benchmarks[name] = ns;
+  util::Json::Object root;
+  root["schema"] = "appscope.bench/1";
+  root["benchmarks"] = std::move(benchmarks);
+  std::ofstream out(path);
+  APPSCOPE_REQUIRE(out.good(), "write_bench_baseline: cannot open output");
+  out << util::Json(std::move(root)).dump(2) << "\n";
 }
 
 }  // namespace appscope::bench

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "core/dataset.hpp"
@@ -30,5 +31,13 @@ core::TrafficDataset build_dataset(const synth::ScenarioConfig& config);
 /// Prints "<label>: paper=<paper> measured=<measured>".
 void print_expectation(const std::string& label, const std::string& paper,
                        const std::string& measured);
+
+/// Writes the normalized benchmark baseline (schema appscope.bench/1):
+/// {"schema": "appscope.bench/1", "benchmarks": {"<name>": <real_time_ns>}}.
+/// Byte-stable output (sorted keys via util::Json) so the committed
+/// BENCH_core.json diffs cleanly; scripts/bench_regression.py compares a
+/// fresh run against the committed file.
+void write_bench_baseline(const std::string& path,
+                          const std::map<std::string, double>& real_time_ns);
 
 }  // namespace appscope::bench

@@ -12,6 +12,7 @@
 #include "core/temporal_analysis.hpp"
 #include "ts/hierarchical.hpp"
 #include "ts/sbd.hpp"
+#include "ts/series_batch.hpp"
 #include "ts/znorm.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -31,12 +32,11 @@ void dendrogram_ablation(const core::TrafficDataset& dataset,
     series.push_back(ts::znormalize(
         std::span<const double>(dataset.national_series(s, d))));
   }
-  const ts::DistanceFn sbd_dist = [](std::span<const double> a,
-                                     std::span<const double> b) {
-    return ts::sbd_distance(a, b);
-  };
-  const ts::Dendrogram tree =
-      ts::hierarchical_cluster(series, sbd_dist, ts::Linkage::kAverage);
+  // Spectrum-cached pairwise matrix feeds the dendrogram directly — no
+  // per-pair distance functor re-running the transforms.
+  const ts::SeriesBatch batch(series);
+  const ts::Dendrogram tree = ts::hierarchical_cluster(
+      ts::sbd_distance_matrix(batch), ts::Linkage::kAverage);
 
   std::cout << util::rule(std::string("ablation — SBD dendrogram, ") +
                           std::string(workload::direction_name(d)))

@@ -6,13 +6,20 @@
 //  - smoothed z-score peak detection.
 #include <benchmark/benchmark.h>
 
+#include <complex>
+#include <cstdlib>
+#include <map>
+
+#include "bench_common.hpp"
 #include "core/dataset.hpp"
 #include "la/fft.hpp"
+#include "la/fft_plan.hpp"
 #include "synth/generator.hpp"
 #include "ts/kmeans.hpp"
 #include "ts/kshape.hpp"
 #include "ts/peaks.hpp"
 #include "ts/sbd.hpp"
+#include "ts/series_batch.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -50,6 +57,33 @@ void BM_CrossCorrelationFft(benchmark::State& state) {
 }
 BENCHMARK(BM_CrossCorrelationFft)->RangeMultiplier(2)->Range(32, 1024);
 
+// Plan-cached transforms at the SBD working size for weekly series
+// (m = 168 -> padded 512). Tracked in BENCH_core.json.
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::FftPlan& plan = la::FftPlan::plan_for(n);
+  const auto seedv = random_series(n, 5);
+  std::vector<std::complex<double>> data(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) data[i] = seedv[i];
+    plan.forward(data.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_Fft)->Arg(512);
+
+void BM_RealFft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::RealFftPlan& plan = la::RealFftPlan::plan_for(n);
+  const auto input = random_series(n, 6);
+  std::vector<std::complex<double>> spectrum(plan.spectrum_size());
+  for (auto _ : state) {
+    plan.forward(input, spectrum);
+    benchmark::DoNotOptimize(spectrum.data());
+  }
+}
+BENCHMARK(BM_RealFft)->Arg(512);
+
 void BM_SbdWeeklySeries(benchmark::State& state) {
   const auto a = random_series(168, 3);
   const auto b = random_series(168, 4);
@@ -73,6 +107,22 @@ std::vector<std::vector<double>> service_like_series(std::size_t count) {
   }
   return series;
 }
+
+// The acceptance benchmark for the spectral-cache fast path: full pairwise
+// SBD matrix over 200 weekly series at 1 thread, including the SeriesBatch
+// build (norms + one forward transform per series). Tracked in
+// BENCH_core.json; CI fails on >25% regression.
+void BM_SbdMatrix(benchmark::State& state) {
+  util::ThreadPool::set_global_threads(1);
+  const auto series = service_like_series(200);
+  for (auto _ : state) {
+    const ts::SeriesBatch batch(series);
+    benchmark::DoNotOptimize(ts::sbd_distance_matrix(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * 200 * 199 / 2);
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_SbdMatrix)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_KShape(benchmark::State& state) {
   const auto series = service_like_series(20);
@@ -245,16 +295,48 @@ BENCHMARK(BM_KShapeThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Console reporter that also collects per-benchmark real time (normalized
+// to nanoseconds, independent of each benchmark's display unit) for the
+// BENCH_core.json baseline.
+class BaselineReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      if (run.iterations == 0) continue;
+      real_time_ns_[run.benchmark_name()] =
+          run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::map<std::string, double>& real_time_ns() const {
+    return real_time_ns_;
+  }
+
+ private:
+  std::map<std::string, double> real_time_ns_;
+};
+
 }  // namespace
 
-// Expanded BENCHMARK_MAIN() with the observability hook: when
+// Expanded BENCHMARK_MAIN() with the observability hooks: when
 // APPSCOPE_METRICS=1, the per-stage timers recorded while the benchmarks ran
-// are exported to metrics.json (or APPSCOPE_METRICS_PATH) at exit.
+// are exported to metrics.json (or APPSCOPE_METRICS_PATH) at exit; when
+// APPSCOPE_BENCH_JSON=<path> is set, the normalized real-time baseline is
+// written there (schema appscope.bench/1) — this is how the committed
+// BENCH_core.json is produced and how CI snapshots a run to compare
+// against it (scripts/bench_regression.py).
 int main(int argc, char** argv) {
   appscope::util::write_metrics_at_exit();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  BaselineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (const char* path = std::getenv("APPSCOPE_BENCH_JSON");
+      path != nullptr && *path != '\0') {
+    appscope::bench::write_bench_baseline(path, reporter.real_time_ns());
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf_core run against the committed BENCH_core.json.
+
+Usage:
+    bench_regression.py BASELINE_JSON FRESH_JSON [--threshold 0.25]
+
+Both files use the appscope.bench/1 schema written by
+bench::write_bench_baseline: {"schema": "appscope.bench/1",
+"benchmarks": {name: real_time_ns}}.
+
+Fails (exit 1) when any benchmark present in BOTH documents is more than
+THRESHOLD slower in the fresh run. Benchmarks present in only one document
+are reported but never fail the check, so adding or retiring a benchmark
+does not require touching this script. Improvements are reported too — a
+large one is a hint to refresh the committed baseline.
+
+Set APPSCOPE_BENCH_REGRESSION_SKIP (to any non-empty value) to turn the
+check into a no-op: shared CI runners can be noisy enough that a wall-time
+gate does more harm than good, and the env var lets a runner opt out
+without editing the workflow.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA = "appscope.bench/1"
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"{path}: expected schema {SCHEMA!r}, got {doc.get('schema')!r}")
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        sys.exit(f"{path}: no benchmarks recorded")
+    return benchmarks
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_core.json")
+    parser.add_argument("fresh", help="baseline written by the fresh run")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative slowdown that fails the check (default 0.25 = +25%%)",
+    )
+    args = parser.parse_args()
+
+    if os.environ.get("APPSCOPE_BENCH_REGRESSION_SKIP"):
+        print("bench_regression: APPSCOPE_BENCH_REGRESSION_SKIP set, skipping")
+        return 0
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    regressions = []
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        sys.exit("bench_regression: no benchmarks in common — wrong filter?")
+    width = max(len(name) for name in shared)
+    for name in shared:
+        before, after = baseline[name], fresh[name]
+        ratio = after / before if before > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSION"
+            regressions.append(name)
+        elif ratio < 1.0 - args.threshold:
+            status = "improved (consider refreshing the baseline)"
+        print(
+            f"  {name:<{width}}  {before / 1e6:10.3f} ms -> {after / 1e6:10.3f} ms "
+            f"({ratio:5.2f}x baseline)  {status}"
+        )
+    for name in sorted(set(baseline) - set(fresh)):
+        print(f"  {name:<{width}}  only in baseline (not run)")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"  {name:<{width}}  only in fresh run (no baseline)")
+
+    if regressions:
+        print(
+            f"bench_regression: {len(regressions)} benchmark(s) regressed more "
+            f"than {args.threshold:.0%}: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"bench_regression: {len(shared)} benchmark(s) within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

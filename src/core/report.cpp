@@ -31,10 +31,14 @@ void render_fig2(std::ostream& out, const StudyReport& r) {
   table_header(out);
   const auto& dl = r.ranking[0];
   const auto& ul = r.ranking[1];
-  paper_vs_measured(out, "downlink top-half Zipf exponent", "-1.69",
-                    "-" + format_double(dl.top_half_fit.exponent, 2));
-  paper_vs_measured(out, "uplink top-half Zipf exponent", "-1.55",
-                    "-" + format_double(ul.top_half_fit.exponent, 2));
+  // Negations built via append: gcc 12's -Wrestrict misfires on the inlined
+  // operator+(const char*, std::string&&) temporary at -O2.
+  std::string dl_exp = "-";
+  dl_exp += format_double(dl.top_half_fit.exponent, 2);
+  std::string ul_exp = "-";
+  ul_exp += format_double(ul.top_half_fit.exponent, 2);
+  paper_vs_measured(out, "downlink top-half Zipf exponent", "-1.69", dl_exp);
+  paper_vs_measured(out, "uplink top-half Zipf exponent", "-1.55", ul_exp);
   paper_vs_measured(
       out, "rank-1 to rank-500 volume span", "~10 orders of magnitude",
       format_double(std::log10(dl.normalized_volumes.front() /

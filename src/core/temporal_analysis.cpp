@@ -6,6 +6,7 @@
 #include "ts/autocorrelation.hpp"
 #include "ts/kmeans.hpp"
 #include "ts/sbd.hpp"
+#include "ts/series_batch.hpp"
 #include "ts/znorm.hpp"
 #include "util/error.hpp"
 
@@ -60,6 +61,12 @@ ClusterSweepReport cluster_sweep(const TrafficDataset& dataset,
 
   const auto series = znormalized_national_series(dataset, d);
 
+  // Spectrum cache + pairwise SBD matrix built once per direction and
+  // reused across every k in the sweep (Dunn/silhouette only read point
+  // pairs; DB/DB* need per-k centroid distances and keep the functor).
+  const ts::SeriesBatch batch(series);
+  const ts::DistanceMatrix sbd_pairwise = ts::sbd_distance_matrix(batch);
+
   const ts::DistanceFn sbd_dist = [](std::span<const double> a,
                                      std::span<const double> b) {
     return ts::sbd_distance(a, b);
@@ -81,7 +88,7 @@ ClusterSweepReport cluster_sweep(const TrafficDataset& dataset,
     const ts::KShapeResult kshape = ts::kshape(series, kopts);
     row.kshape = ts::evaluate_quality(
         series, ts::ClusteringView{kshape.assignments, kshape.centroids},
-        sbd_dist);
+        sbd_dist, sbd_pairwise);
 
     if (opts.include_kmeans_baseline) {
       ts::KMeansOptions mopts;

@@ -81,7 +81,10 @@ std::vector<Metro> place_metros(const CountryConfig& cfg, util::Rng& rng) {
       if (ok) break;
     }
     Metro metro;
-    metro.name = "M" + std::to_string(m);
+    // Built in two steps: gcc 12's -Wrestrict misfires on the inlined
+    // temporary from operator+(const char*, std::string&&) at -O2.
+    metro.name = "M";
+    metro.name += std::to_string(m);
     metro.center = p;
     metro.population = static_cast<std::uint32_t>(
         static_cast<double>(cfg.largest_metro_population) *

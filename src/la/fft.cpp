@@ -15,35 +15,34 @@ std::size_t next_pow2(std::size_t n) noexcept {
 void fft(std::vector<std::complex<double>>& data, bool inverse) {
   const std::size_t n = data.size();
   APPSCOPE_REQUIRE(n != 0 && (n & (n - 1)) == 0, "fft: size must be a power of two");
-
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
-  }
-
-  // Cooley-Tukey butterflies.
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
-    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      std::complex<double> w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const std::complex<double> u = data[i + k];
-        const std::complex<double> v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-
+  const FftPlan& plan = FftPlan::plan_for(n);
   if (inverse) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (auto& x : data) x *= scale;
+    plan.inverse(data.data());
+  } else {
+    plan.forward(data.data());
   }
+}
+
+std::vector<std::complex<double>> rfft(std::span<const double> x, std::size_t n) {
+  const RealFftPlan& plan = RealFftPlan::plan_for(n);
+  std::vector<std::complex<double>> spectrum(plan.spectrum_size());
+  plan.forward(x, spectrum);
+  return spectrum;
+}
+
+std::vector<double> irfft(std::span<const std::complex<double>> spectrum,
+                          std::size_t n) {
+  const RealFftPlan& plan = RealFftPlan::plan_for(n);
+  APPSCOPE_REQUIRE(spectrum.size() >= plan.spectrum_size(),
+                   "irfft: spectrum too small for size");
+  // The plan consumes its spectrum argument as workspace; copy so the
+  // caller's view stays intact.
+  std::vector<std::complex<double>> work(spectrum.begin(),
+                                         spectrum.begin() + static_cast<std::ptrdiff_t>(
+                                             plan.spectrum_size()));
+  std::vector<double> out(n);
+  plan.inverse(work, out);
+  return out;
 }
 
 std::vector<double> cross_correlation_direct(std::span<const double> a,
@@ -76,27 +75,40 @@ std::vector<double> cross_correlation_fft(std::span<const double> a,
   const std::size_t nb = b.size();
   const std::size_t out_len = na + nb - 1;
   const std::size_t n = next_pow2(out_len);
+  if (n < 2) return cross_correlation_direct(a, b);  // 1x1: rfft needs n >= 2
 
-  std::vector<std::complex<double>> fa(n), fb(n);
-  for (std::size_t i = 0; i < na; ++i) fa[i] = a[i];
-  // Cross-correlation = convolution with time-reversed b.
-  for (std::size_t i = 0; i < nb; ++i) fb[i] = b[nb - 1 - i];
-  fft(fa, /*inverse=*/false);
-  fft(fb, /*inverse=*/false);
-  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
-  fft(fa, /*inverse=*/true);
+  // Correlation via the conjugate product: with A = rfft(a), B = rfft(b),
+  // c = irfft(A . conj(B)) is the circular cross-correlation
+  // c[s mod n] = sum_j a[j + s] * b[j]; n >= na + nb - 1 makes it linear.
+  // This is the same arithmetic as the cached-spectrum SBD batch kernel
+  // (ts/series_batch.hpp), which keeps both paths bitwise identical.
+  std::vector<std::complex<double>> fa = rfft(a, n);
+  const std::vector<std::complex<double>> fb = rfft(b, n);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const double ar = fa[i].real();
+    const double ai = fa[i].imag();
+    const double br = fb[i].real();
+    const double bi = fb[i].imag();
+    fa[i] = {ar * br + ai * bi, ai * br - ar * bi};
+  }
+  const RealFftPlan& plan = RealFftPlan::plan_for(n);
+  std::vector<double> c(n);
+  plan.inverse(fa, c);
 
   std::vector<double> out(out_len);
-  for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+  for (std::size_t k = 0; k < out_len; ++k) {
+    const std::ptrdiff_t s =
+        static_cast<std::ptrdiff_t>(k) - static_cast<std::ptrdiff_t>(nb - 1);
+    out[k] = c[s >= 0 ? static_cast<std::size_t>(s)
+                      : n - static_cast<std::size_t>(-s)];
+  }
   return out;
 }
 
 std::vector<double> cross_correlation(std::span<const double> a,
                                       std::span<const double> b) {
-  // Direct wins below ~128 points on typical hardware (see bench/perf_core);
-  // the weekly series in this library are 168 samples, near the crossover.
-  constexpr std::size_t kDirectThreshold = 128;
-  if (a.size() <= kDirectThreshold && b.size() <= kDirectThreshold) {
+  if (a.size() <= kCrossCorrelationDirectThreshold &&
+      b.size() <= kCrossCorrelationDirectThreshold) {
     return cross_correlation_direct(a, b);
   }
   return cross_correlation_fft(a, b);
@@ -107,16 +119,21 @@ std::vector<double> convolve(const std::vector<double>& a,
   APPSCOPE_REQUIRE(!a.empty() && !b.empty(), "convolve: empty input");
   const std::size_t out_len = a.size() + b.size() - 1;
   const std::size_t n = next_pow2(out_len);
-  std::vector<std::complex<double>> fa(n), fb(n);
-  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
-  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
-  fft(fa, false);
-  fft(fb, false);
-  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
-  fft(fa, true);
-  std::vector<double> out(out_len);
-  for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
-  return out;
+  if (n < 2) return {a[0] * b[0]};
+
+  std::vector<std::complex<double>> fa = rfft(a, n);
+  const std::vector<std::complex<double>> fb = rfft(b, n);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const double ar = fa[i].real();
+    const double ai = fa[i].imag();
+    const double br = fb[i].real();
+    const double bi = fb[i].imag();
+    fa[i] = {ar * br - ai * bi, ar * bi + ai * br};
+  }
+  const RealFftPlan& plan = RealFftPlan::plan_for(n);
+  std::vector<double> c(n);
+  plan.inverse(fa, c);
+  return {c.begin(), c.begin() + static_cast<std::ptrdiff_t>(out_len)};
 }
 
 }  // namespace appscope::la

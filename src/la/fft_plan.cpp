@@ -1,0 +1,236 @@
+#include "la/fft_plan.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
+namespace appscope::la {
+
+namespace {
+
+constexpr std::size_t kMaxPlanLog2 = 32;
+
+std::size_t log2_of_pow2(std::size_t n) noexcept {
+  std::size_t l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return l;
+}
+
+void count_transform() {
+  if (util::MetricsRegistry::enabled()) {
+    util::MetricsRegistry::global().add("la.fft.transforms");
+  }
+}
+
+/// Lock-free plan cache slot array indexed by log2(size). A miss builds a
+/// fresh plan and publishes it with a release CAS; a losing racer deletes
+/// its copy and adopts the winner. Published plans are immutable and live
+/// for the process lifetime (reachable from the slots, so LeakSanitizer
+/// treats them as live).
+template <typename Plan>
+const Plan& cached_plan(std::atomic<const Plan*>* slots, std::size_t n) {
+  const std::size_t idx = log2_of_pow2(n);
+  APPSCOPE_REQUIRE(idx < kMaxPlanLog2, "fft: transform size too large");
+  std::atomic<const Plan*>& slot = slots[idx];
+  const Plan* plan = slot.load(std::memory_order_acquire);
+  const bool metrics = util::MetricsRegistry::enabled();
+  if (plan != nullptr) {
+    if (metrics) util::MetricsRegistry::global().add("la.fft.plan_cache_hits");
+    return *plan;
+  }
+  if (metrics) util::MetricsRegistry::global().add("la.fft.plan_cache_misses");
+  const Plan* fresh = new Plan(n);
+  const Plan* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    return *fresh;
+  }
+  delete fresh;
+  return *expected;
+}
+
+std::atomic<const FftPlan*> g_complex_plans[kMaxPlanLog2];
+std::atomic<const RealFftPlan*> g_real_plans[kMaxPlanLog2];
+
+}  // namespace
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  APPSCOPE_REQUIRE(n != 0 && (n & (n - 1)) == 0,
+                   "fft: size must be a power of two");
+  bitrev_.resize(n);
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bitrev_[i] = static_cast<std::uint32_t>(j);
+  }
+  twiddles_.resize(n / 2);
+  const double step = -2.0 * M_PI / static_cast<double>(n);
+  for (std::size_t j = 0; j < twiddles_.size(); ++j) {
+    const double angle = step * static_cast<double>(j);
+    twiddles_[j] = {std::cos(angle), std::sin(angle)};
+  }
+}
+
+void FftPlan::transform(std::complex<double>* data, bool inverse) const {
+  const std::size_t n = n_;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies with table twiddles. The multiplies are written out in
+  // real/imaginary form so they compile to plain fused arithmetic instead
+  // of the checked library complex multiply.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t stride = n / len;
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+      const std::complex<double>* tw = twiddles_.data();
+      for (std::size_t k = 0; k < half; ++k) {
+        const std::complex<double> w = tw[k * stride];
+        const double wr = w.real();
+        const double wi = inverse ? -w.imag() : w.imag();
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> b = data[i + k + half];
+        const double vr = b.real() * wr - b.imag() * wi;
+        const double vi = b.real() * wi + b.imag() * wr;
+        data[i + k] = {u.real() + vr, u.imag() + vi};
+        data[i + k + half] = {u.real() - vr, u.imag() - vi};
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] *= scale;
+  }
+}
+
+void FftPlan::forward(std::complex<double>* data) const {
+  count_transform();
+  transform(data, /*inverse=*/false);
+}
+
+void FftPlan::inverse(std::complex<double>* data) const {
+  count_transform();
+  transform(data, /*inverse=*/true);
+}
+
+const FftPlan& FftPlan::plan_for(std::size_t n) {
+  APPSCOPE_REQUIRE(n != 0 && (n & (n - 1)) == 0,
+                   "fft: size must be a power of two");
+  return cached_plan(g_complex_plans, n);
+}
+
+RealFftPlan::RealFftPlan(std::size_t n) : n_(n) {
+  APPSCOPE_REQUIRE(n >= 2 && (n & (n - 1)) == 0,
+                   "rfft: size must be a power of two >= 2");
+  half_ = &FftPlan::plan_for(n / 2);
+  split_.resize(n / 4 + 1);
+  const double step = -2.0 * M_PI / static_cast<double>(n);
+  for (std::size_t k = 0; k < split_.size(); ++k) {
+    const double angle = step * static_cast<double>(k);
+    split_[k] = {std::cos(angle), std::sin(angle)};
+  }
+}
+
+void RealFftPlan::forward(std::span<const double> input,
+                          std::span<std::complex<double>> spectrum) const {
+  const std::size_t n = n_;
+  const std::size_t h = n / 2;
+  APPSCOPE_REQUIRE(input.size() <= n, "rfft: input longer than plan size");
+  APPSCOPE_REQUIRE(spectrum.size() >= spectrum_size(),
+                   "rfft: spectrum buffer too small");
+  count_transform();
+
+  // Pack pairs of real samples into the half-size complex workspace
+  // (zero-padding past the input).
+  const std::size_t m = input.size();
+  for (std::size_t j = 0; j < h; ++j) {
+    const double re = 2 * j < m ? input[2 * j] : 0.0;
+    const double im = 2 * j + 1 < m ? input[2 * j + 1] : 0.0;
+    spectrum[j] = {re, im};
+  }
+  half_->transform(spectrum.data(), /*inverse=*/false);
+
+  // Untangle the even/odd interleave: for Z = FFT_h(packed),
+  //   E[k] = (Z[k] + conj(Z[h-k])) / 2      (spectrum of even samples)
+  //   O[k] = (Z[k] - conj(Z[h-k])) / (2i)   (spectrum of odd samples)
+  //   X[k] = E[k] + w^k O[k],  w = exp(-2*pi*i/n)
+  // processed in (k, h-k) pairs so the untangle runs in place.
+  const std::complex<double> z0 = spectrum[0];
+  spectrum[0] = {z0.real() + z0.imag(), 0.0};
+  spectrum[h] = {z0.real() - z0.imag(), 0.0};
+  for (std::size_t k = 1; k < h - k; ++k) {
+    const std::size_t kk = h - k;
+    const std::complex<double> zk = spectrum[k];
+    const std::complex<double> zkk = spectrum[kk];
+    const double er = 0.5 * (zk.real() + zkk.real());
+    const double ei = 0.5 * (zk.imag() - zkk.imag());
+    // O[k] = (Z[k] - conj(Z[kk])) / (2i)
+    const double odr = 0.5 * (zk.imag() + zkk.imag());
+    const double odi = -0.5 * (zk.real() - zkk.real());
+    const std::complex<double> w = split_[k];
+    const double tr = odr * w.real() - odi * w.imag();
+    const double ti = odr * w.imag() + odi * w.real();
+    // X[h-k] = conj(E[k] - w^k O[k])
+    spectrum[k] = {er + tr, ei + ti};
+    spectrum[kk] = {er - tr, -(ei - ti)};
+  }
+  if (h >= 2) {
+    // Middle bin k = h/2: w^k = -i, so X[k] = conj(Z[k]).
+    const std::size_t mid = h / 2;
+    spectrum[mid] = {spectrum[mid].real(), -spectrum[mid].imag()};
+  }
+}
+
+void RealFftPlan::inverse(std::span<std::complex<double>> spectrum,
+                          std::span<double> output) const {
+  const std::size_t n = n_;
+  const std::size_t h = n / 2;
+  APPSCOPE_REQUIRE(spectrum.size() >= spectrum_size(),
+                   "irfft: spectrum buffer too small");
+  APPSCOPE_REQUIRE(output.size() >= n, "irfft: output buffer too small");
+  count_transform();
+
+  // Re-tangle the spectrum into the half-size complex signal:
+  //   E[k] = (X[k] + conj(X[h-k])) / 2
+  //   O[k] = (X[k] - conj(X[h-k])) / 2 * conj(w^k)
+  //   Z[k] = E[k] + i O[k]
+  const double x0 = spectrum[0].real();
+  const double xh = spectrum[h].real();
+  spectrum[0] = {0.5 * (x0 + xh), 0.5 * (x0 - xh)};
+  for (std::size_t k = 1; k < h - k; ++k) {
+    const std::size_t kk = h - k;
+    const std::complex<double> xk = spectrum[k];
+    const std::complex<double> xkk = spectrum[kk];
+    const double er = 0.5 * (xk.real() + xkk.real());
+    const double ei = 0.5 * (xk.imag() - xkk.imag());
+    const double dr = 0.5 * (xk.real() - xkk.real());
+    const double di = 0.5 * (xk.imag() + xkk.imag());
+    const std::complex<double> w = split_[k];  // conj applied inline
+    const double odr = dr * w.real() + di * w.imag();
+    const double odi = -dr * w.imag() + di * w.real();
+    // Z[k] = E + iO; Z[h-k] = conj(E) + i conj(O)
+    spectrum[k] = {er - odi, ei + odr};
+    spectrum[kk] = {er + odi, odr - ei};
+  }
+  if (h >= 2) {
+    const std::size_t mid = h / 2;
+    spectrum[mid] = {spectrum[mid].real(), -spectrum[mid].imag()};
+  }
+  half_->transform(spectrum.data(), /*inverse=*/true);
+  for (std::size_t j = 0; j < h; ++j) {
+    output[2 * j] = spectrum[j].real();
+    output[2 * j + 1] = spectrum[j].imag();
+  }
+}
+
+const RealFftPlan& RealFftPlan::plan_for(std::size_t n) {
+  APPSCOPE_REQUIRE(n >= 2 && (n & (n - 1)) == 0,
+                   "rfft: size must be a power of two >= 2");
+  return cached_plan(g_real_plans, n);
+}
+
+}  // namespace appscope::la

@@ -33,12 +33,14 @@ std::size_t count_nonempty(const std::vector<std::vector<std::size_t>>& groups) 
   return n;
 }
 
-}  // namespace
-
-double silhouette(const std::vector<std::vector<double>>& data,
-                  const std::vector<std::size_t>& assignments,
-                  const DistanceFn& dist) {
-  APPSCOPE_REQUIRE(data.size() == assignments.size(),
+/// Silhouette over point indices with distances supplied by `pd(i, j)`.
+/// Shared by the functor and precomputed-matrix overloads so both produce
+/// identical results for consistent inputs.
+template <typename PointDist>
+double silhouette_impl(std::size_t n_points,
+                       const std::vector<std::size_t>& assignments,
+                       PointDist&& pd) {
+  APPSCOPE_REQUIRE(n_points == assignments.size(),
                    "silhouette: data/assignment size mismatch");
   const std::size_t k = max_cluster_id(assignments);
   const auto groups = group_members(assignments, k);
@@ -46,14 +48,14 @@ double silhouette(const std::vector<std::vector<double>>& data,
                    "silhouette: needs >= 2 non-empty clusters");
 
   double total = 0.0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
+  for (std::size_t i = 0; i < n_points; ++i) {
     const std::size_t own = assignments[i];
     if (groups[own].size() <= 1) continue;  // silhouette of singleton := 0
 
     // a(i): mean distance to own cluster (excluding self).
     double a = 0.0;
     for (const std::size_t j : groups[own]) {
-      if (j != i) a += dist(data[i], data[j]);
+      if (j != i) a += pd(i, j);
     }
     a /= static_cast<double>(groups[own].size() - 1);
 
@@ -62,7 +64,7 @@ double silhouette(const std::vector<std::vector<double>>& data,
     for (std::size_t c = 0; c < k; ++c) {
       if (c == own || groups[c].empty()) continue;
       double m = 0.0;
-      for (const std::size_t j : groups[c]) m += dist(data[i], data[j]);
+      for (const std::size_t j : groups[c]) m += pd(i, j);
       m /= static_cast<double>(groups[c].size());
       b = std::min(b, m);
     }
@@ -70,13 +72,13 @@ double silhouette(const std::vector<std::vector<double>>& data,
     const double denom = std::max(a, b);
     total += denom > 0.0 ? (b - a) / denom : 0.0;
   }
-  return total / static_cast<double>(data.size());
+  return total / static_cast<double>(n_points);
 }
 
-double dunn_index(const std::vector<std::vector<double>>& data,
-                  const std::vector<std::size_t>& assignments,
-                  const DistanceFn& dist) {
-  APPSCOPE_REQUIRE(data.size() == assignments.size(),
+template <typename PointDist>
+double dunn_impl(std::size_t n_points,
+                 const std::vector<std::size_t>& assignments, PointDist&& pd) {
+  APPSCOPE_REQUIRE(n_points == assignments.size(),
                    "dunn_index: data/assignment size mismatch");
   const std::size_t k = max_cluster_id(assignments);
   const auto groups = group_members(assignments, k);
@@ -88,7 +90,7 @@ double dunn_index(const std::vector<std::vector<double>>& data,
   for (const auto& g : groups) {
     for (std::size_t a = 0; a < g.size(); ++a) {
       for (std::size_t b = a + 1; b < g.size(); ++b) {
-        max_diameter = std::max(max_diameter, dist(data[g[a]], data[g[b]]));
+        max_diameter = std::max(max_diameter, pd(g[a], g[b]));
       }
     }
   }
@@ -101,7 +103,7 @@ double dunn_index(const std::vector<std::vector<double>>& data,
       if (groups[c2].empty()) continue;
       for (const std::size_t a : groups[c1]) {
         for (const std::size_t b : groups[c2]) {
-          min_separation = std::min(min_separation, dist(data[a], data[b]));
+          min_separation = std::min(min_separation, pd(a, b));
         }
       }
     }
@@ -113,6 +115,42 @@ double dunn_index(const std::vector<std::vector<double>>& data,
     return std::numeric_limits<double>::infinity();
   }
   return min_separation / max_diameter;
+}
+
+}  // namespace
+
+double silhouette(const std::vector<std::vector<double>>& data,
+                  const std::vector<std::size_t>& assignments,
+                  const DistanceFn& dist) {
+  return silhouette_impl(data.size(), assignments,
+                         [&](std::size_t i, std::size_t j) {
+                           return dist(data[i], data[j]);
+                         });
+}
+
+double silhouette(const DistanceMatrix& pairwise,
+                  const std::vector<std::size_t>& assignments) {
+  return silhouette_impl(pairwise.size(), assignments,
+                         [&](std::size_t i, std::size_t j) {
+                           return pairwise(i, j);
+                         });
+}
+
+double dunn_index(const std::vector<std::vector<double>>& data,
+                  const std::vector<std::size_t>& assignments,
+                  const DistanceFn& dist) {
+  return dunn_impl(data.size(), assignments,
+                   [&](std::size_t i, std::size_t j) {
+                     return dist(data[i], data[j]);
+                   });
+}
+
+double dunn_index(const DistanceMatrix& pairwise,
+                  const std::vector<std::size_t>& assignments) {
+  return dunn_impl(pairwise.size(), assignments,
+                   [&](std::size_t i, std::size_t j) {
+                     return pairwise(i, j);
+                   });
 }
 
 namespace {
@@ -213,6 +251,22 @@ QualityIndices evaluate_quality(const std::vector<std::vector<double>>& data,
   q.davies_bouldin_star = davies_bouldin_star(data, clustering, dist);
   q.dunn = dunn_index(data, clustering.assignments, dist);
   q.silhouette = silhouette(data, clustering.assignments, dist);
+  return q;
+}
+
+QualityIndices evaluate_quality(const std::vector<std::vector<double>>& data,
+                                const ClusteringView& clustering,
+                                const DistanceFn& dist,
+                                const DistanceMatrix& pairwise) {
+  APPSCOPE_REQUIRE(pairwise.size() == data.size(),
+                   "evaluate_quality: pairwise matrix size mismatch");
+  QualityIndices q;
+  // DB/DB* involve centroid distances, which a point-pairwise matrix cannot
+  // supply; Dunn and silhouette read only point pairs and use the matrix.
+  q.davies_bouldin = davies_bouldin(data, clustering, dist);
+  q.davies_bouldin_star = davies_bouldin_star(data, clustering, dist);
+  q.dunn = dunn_index(pairwise, clustering.assignments);
+  q.silhouette = silhouette(pairwise, clustering.assignments);
   return q;
 }
 

@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "ts/distance_matrix.hpp"
+
 namespace appscope::ts {
 
 using DistanceFn =
@@ -31,12 +33,22 @@ double silhouette(const std::vector<std::vector<double>>& data,
                   const std::vector<std::size_t>& assignments,
                   const DistanceFn& dist);
 
+/// Silhouette from precomputed pairwise point distances (e.g. an SBD matrix
+/// from ts::sbd_distance_matrix). Identical result to the functor overload
+/// when `pairwise(i, j) == dist(data[i], data[j])`.
+double silhouette(const DistanceMatrix& pairwise,
+                  const std::vector<std::size_t>& assignments);
+
 /// Dunn index: min inter-cluster single-linkage distance divided by max
 /// intra-cluster diameter (higher = better). Requires >= 2 non-empty
 /// clusters and at least one cluster with >= 2 members.
 double dunn_index(const std::vector<std::vector<double>>& data,
                   const std::vector<std::size_t>& assignments,
                   const DistanceFn& dist);
+
+/// Dunn index from precomputed pairwise point distances.
+double dunn_index(const DistanceMatrix& pairwise,
+                  const std::vector<std::size_t>& assignments);
 
 /// Davies-Bouldin: mean over clusters of max_j (S_i + S_j) / d(c_i, c_j),
 /// with S_i the mean member-to-centroid distance (lower = better).
@@ -60,5 +72,15 @@ struct QualityIndices {
 QualityIndices evaluate_quality(const std::vector<std::vector<double>>& data,
                                 const ClusteringView& clustering,
                                 const DistanceFn& dist);
+
+/// evaluate_quality with the point-to-point distances read from `pairwise`
+/// instead of recomputed through `dist` (which is still used for the
+/// centroid distances in DB/DB*). With a consistent matrix the result is
+/// identical to the functor-only overload; for SBD the pairwise matrix is
+/// the dominant cost and is typically already on hand from the k sweep.
+QualityIndices evaluate_quality(const std::vector<std::vector<double>>& data,
+                                const ClusteringView& clustering,
+                                const DistanceFn& dist,
+                                const DistanceMatrix& pairwise);
 
 }  // namespace appscope::ts

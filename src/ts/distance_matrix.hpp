@@ -1,0 +1,62 @@
+// appscope/ts/distance_matrix.hpp
+//
+// Flat row-major symmetric distance matrix. Replaces the seed's
+// vector<vector<double>>: one contiguous allocation instead of n+1, row
+// accesses are a multiply instead of a pointer chase, and whole-matrix
+// comparison (the bitwise-determinism property tests) is a single memcmp-
+// style pass over the cells.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace appscope::ts {
+
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+  /// n x n matrix of zeros.
+  explicit DistanceMatrix(std::size_t n) : n_(n), cells_(n * n, 0.0) {}
+
+  /// Number of items (rows == columns).
+  std::size_t size() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+
+  double& operator()(std::size_t i, std::size_t j) noexcept {
+    return cells_[i * n_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const noexcept {
+    return cells_[i * n_ + j];
+  }
+
+  std::span<double> row(std::size_t i) noexcept {
+    return {cells_.data() + i * n_, n_};
+  }
+  std::span<const double> row(std::size_t i) const noexcept {
+    return {cells_.data() + i * n_, n_};
+  }
+
+  /// Mirrors the upper triangle into the lower one (fills d(j,i) = d(i,j)
+  /// for j > i). Builders fill only the upper triangle in parallel, then
+  /// symmetrize serially.
+  void symmetrize_upper() noexcept {
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        cells_[j * n_ + i] = cells_[i * n_ + j];
+      }
+    }
+  }
+
+  const std::vector<double>& cells() const noexcept { return cells_; }
+
+  friend bool operator==(const DistanceMatrix&, const DistanceMatrix&) = default;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> cells_;
+};
+
+}  // namespace appscope::ts

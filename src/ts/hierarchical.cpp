@@ -18,16 +18,15 @@ struct ActiveCluster {
   std::vector<std::size_t> leaves;
 };
 
-double linkage_distance(const std::vector<std::vector<double>>& d,
-                        const ActiveCluster& a, const ActiveCluster& b,
-                        Linkage linkage) {
+double linkage_distance(const DistanceMatrix& d, const ActiveCluster& a,
+                        const ActiveCluster& b, Linkage linkage) {
   double best = linkage == Linkage::kSingle
                     ? std::numeric_limits<double>::infinity()
                     : 0.0;
   double sum = 0.0;
   for (const std::size_t i : a.leaves) {
     for (const std::size_t j : b.leaves) {
-      const double dist = d[i][j];
+      const double dist = d(i, j);
       switch (linkage) {
         case Linkage::kSingle: best = std::min(best, dist); break;
         case Linkage::kComplete: best = std::max(best, dist); break;
@@ -43,28 +42,14 @@ double linkage_distance(const std::vector<std::vector<double>>& d,
 
 }  // namespace
 
-Dendrogram hierarchical_cluster(const std::vector<std::vector<double>>& items,
-                                const DistanceFn& dist, Linkage linkage) {
-  APPSCOPE_REQUIRE(!items.empty(), "hierarchical_cluster: no items");
-  const std::size_t n = items.size();
-
-  // Pairwise leaf distances, computed once. The O(n²) fill dominates for
-  // expensive distances (SBD over commune series), so rows are sharded
-  // across the pool; entries are independent, results thread-count
-  // invariant.
-  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
-  constexpr std::size_t kRowsPerShard = 4;
-  util::parallel_for(0, n, kRowsPerShard, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        d[i][j] = dist(items[i], items[j]);
-        APPSCOPE_REQUIRE(d[i][j] >= 0.0,
-                         "hierarchical_cluster: negative distance");
-      }
-    }
-  });
+Dendrogram hierarchical_cluster(const DistanceMatrix& d, Linkage linkage) {
+  APPSCOPE_REQUIRE(!d.empty(), "hierarchical_cluster: no items");
+  const std::size_t n = d.size();
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) d[j][i] = d[i][j];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      APPSCOPE_REQUIRE(d(i, j) >= 0.0,
+                       "hierarchical_cluster: negative distance");
+    }
   }
 
   Dendrogram out;
@@ -105,6 +90,28 @@ Dendrogram hierarchical_cluster(const std::vector<std::vector<double>>& items,
     active.push_back(std::move(merged));
   }
   return out;
+}
+
+Dendrogram hierarchical_cluster(const std::vector<std::vector<double>>& items,
+                                const DistanceFn& dist, Linkage linkage) {
+  APPSCOPE_REQUIRE(!items.empty(), "hierarchical_cluster: no items");
+  const std::size_t n = items.size();
+
+  // Pairwise leaf distances, computed once. The O(n²) fill dominates for
+  // expensive distances (SBD over commune series), so rows are sharded
+  // across the pool; entries are independent, results thread-count
+  // invariant.
+  DistanceMatrix d(n);
+  constexpr std::size_t kRowsPerShard = 4;
+  util::parallel_for(0, n, kRowsPerShard, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        d(i, j) = dist(items[i], items[j]);
+      }
+    }
+  });
+  d.symmetrize_upper();
+  return hierarchical_cluster(d, linkage);
 }
 
 std::vector<std::size_t> Dendrogram::cut_at(double cut) const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ts/cluster_quality.hpp"
+#include "ts/distance_matrix.hpp"
 
 namespace appscope::ts {
 
@@ -49,9 +50,17 @@ struct Dendrogram {
   std::pair<double, std::size_t> largest_merge_gap() const;
 };
 
-/// Builds the dendrogram for `items` under `dist`. O(n^3) with the naive
+/// Builds the dendrogram from precomputed pairwise distances (symmetric,
+/// non-negative, zero diagonal). O(n^3) agglomeration with the naive
 /// Lance-Williams update — fine for the 20-series use case and beyond
-/// (hundreds of items).
+/// (hundreds of items). Callers that already paid for an SBD matrix
+/// (ts::sbd_distance_matrix over a SeriesBatch) pass it here directly
+/// instead of recomputing every pair through a distance functor.
+Dendrogram hierarchical_cluster(const DistanceMatrix& distances,
+                                Linkage linkage = Linkage::kAverage);
+
+/// Convenience overload: fills the pairwise matrix from `dist` (row-sharded
+/// on the global pool) and forwards to the matrix overload.
 Dendrogram hierarchical_cluster(const std::vector<std::vector<double>>& items,
                                 const DistanceFn& dist,
                                 Linkage linkage = Linkage::kAverage);

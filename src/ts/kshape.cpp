@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "la/eigen.hpp"
 #include "la/matrix.hpp"
 #include "la/vector_ops.hpp"
 #include "ts/sbd.hpp"
+#include "ts/series_batch.hpp"
 #include "ts/znorm.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -25,25 +27,19 @@ std::vector<std::size_t> KShapeResult::members(std::size_t c) const {
   return out;
 }
 
-std::vector<double> shape_extract(const std::vector<std::vector<double>>& members,
-                                  const std::vector<double>& reference) {
-  APPSCOPE_REQUIRE(!members.empty(), "shape_extract: no members");
-  const std::size_t n = members.front().size();
-  APPSCOPE_REQUIRE(n >= 2, "shape_extract: series too short");
-  for (const auto& m : members) {
-    APPSCOPE_REQUIRE(m.size() == n, "shape_extract: ragged members");
-  }
+namespace {
 
-  const bool have_reference =
-      reference.size() == n && la::norm2(reference) > 0.0;
-
-  // Align members to the reference (old centroid), then z-normalize each —
-  // shape extraction assumes zero-mean unit-variance rows.
+/// Eigen-decomposition core of shape extraction, shared by the public
+/// per-pair entry point and the k-Shape batch path; `aligned_member(i)`
+/// yields member i already aligned to the reference (both paths produce
+/// bit-identical alignments, so the extracted shapes agree bitwise too).
+template <typename AlignedFn>
+std::vector<double> shape_extract_core(std::size_t member_count, std::size_t n,
+                                       std::span<const double> probe,
+                                       AlignedFn&& aligned_member) {
   la::Matrix s(n, n);
-  for (const auto& member : members) {
-    std::vector<double> aligned =
-        have_reference ? align_to(reference, member)
-                       : std::vector<double>(member.begin(), member.end());
+  for (std::size_t mi = 0; mi < member_count; ++mi) {
+    std::vector<double> aligned = aligned_member(mi);
     znormalize_inplace(aligned);
     // S += aligned alignedᵀ (accumulate symmetric rank-1 update).
     for (std::size_t i = 0; i < n; ++i) {
@@ -90,10 +86,9 @@ std::vector<double> shape_extract(const std::vector<std::vector<double>>& member
   std::vector<double> centroid = top.vector;
   // Eigenvectors have arbitrary sign: pick the orientation closer to the
   // cluster members (compare squared distance to the first member).
-  const auto& probe = members.front();
   double dist_pos = 0.0;
   double dist_neg = 0.0;
-  const std::vector<double> zprobe = znormalize(std::span<const double>(probe));
+  const std::vector<double> zprobe = znormalize(probe);
   for (std::size_t i = 0; i < n; ++i) {
     const double dp = zprobe[i] - centroid[i];
     const double dn = zprobe[i] + centroid[i];
@@ -105,6 +100,49 @@ std::vector<double> shape_extract(const std::vector<std::vector<double>>& member
   }
   znormalize_inplace(centroid);
   return centroid;
+}
+
+/// Batch-path shape extraction: members live in `data` (spectra cached
+/// across all k-Shape iterations), the reference is row `c` of `centroids`.
+std::vector<double> shape_extract_batch(const SeriesBatch& data,
+                                        const std::vector<std::size_t>& member_idx,
+                                        const SeriesBatch& centroids,
+                                        std::size_t c, SbdScratch& scratch) {
+  const std::size_t n = data.length();
+  const bool have_reference = centroids.norm(c) > 0.0;
+  return shape_extract_core(
+      member_idx.size(), n, data.series(member_idx.front()),
+      [&](std::size_t mi) {
+        const std::span<const double> member = data.series(member_idx[mi]);
+        if (!have_reference) return std::vector<double>(member.begin(), member.end());
+        const SbdResult r = sbd_pair(centroids, c, data, member_idx[mi], scratch);
+        return shift_series(member, r.shift);
+      });
+}
+
+}  // namespace
+
+std::vector<double> shape_extract(const std::vector<std::vector<double>>& members,
+                                  const std::vector<double>& reference) {
+  APPSCOPE_REQUIRE(!members.empty(), "shape_extract: no members");
+  const std::size_t n = members.front().size();
+  APPSCOPE_REQUIRE(n >= 2, "shape_extract: series too short");
+  for (const auto& m : members) {
+    APPSCOPE_REQUIRE(m.size() == n, "shape_extract: ragged members");
+  }
+
+  const bool have_reference =
+      reference.size() == n && la::norm2(reference) > 0.0;
+
+  // Align members to the reference (old centroid), then z-normalize each —
+  // shape extraction assumes zero-mean unit-variance rows.
+  return shape_extract_core(
+      members.size(), n, std::span<const double>(members.front()),
+      [&](std::size_t mi) {
+        return have_reference
+                   ? align_to(reference, members[mi])
+                   : std::vector<double>(members[mi].begin(), members[mi].end());
+      });
 }
 
 KShapeResult kshape(const std::vector<std::vector<double>>& series,
@@ -130,6 +168,17 @@ KShapeResult kshape(const std::vector<std::vector<double>>& series,
                        : s);
   }
 
+  // Batch mode: member spectra computed once here and reused by every
+  // assignment and refinement across all iterations; centroid rows refresh
+  // via set_series as centroids change.
+  const bool batch_mode = opts.use_cached_spectra;
+  std::optional<SeriesBatch> data_batch;
+  std::optional<SeriesBatch> centroid_batch;
+  if (batch_mode) {
+    data_batch.emplace(data);
+    centroid_batch.emplace(opts.k, n);
+  }
+
   util::Rng rng(opts.seed);
   KShapeResult result;
   result.assignments.resize(data.size());
@@ -150,18 +199,27 @@ KShapeResult kshape(const std::vector<std::vector<double>>& series,
     result.iterations = iter + 1;
 
     // Refinement: extract a shape per non-empty cluster. Clusters are
-    // independent of each other, so they refine in parallel; each cluster's
-    // extraction is untouched serial code.
-    std::vector<std::vector<std::vector<double>>> cluster_members(opts.k);
+    // independent of each other, so they refine in parallel (each touching
+    // only its own centroid-batch row).
+    std::vector<std::vector<std::size_t>> member_idx(opts.k);
     for (std::size_t i = 0; i < data.size(); ++i) {
-      cluster_members[result.assignments[i]].push_back(data[i]);
+      member_idx[result.assignments[i]].push_back(i);
     }
     {
       const util::ScopedSpan refine_span("ts.kshape.refine");
       util::parallel_for(0, opts.k, 1, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t c = lo; c < hi; ++c) {
-          if (cluster_members[c].empty()) continue;  // re-seeded after assignment
-          result.centroids[c] = shape_extract(cluster_members[c], result.centroids[c]);
+          if (member_idx[c].empty()) continue;  // re-seeded after assignment
+          if (batch_mode) {
+            result.centroids[c] = shape_extract_batch(
+                *data_batch, member_idx[c], *centroid_batch, c, sbd_scratch());
+            centroid_batch->set_series(c, result.centroids[c]);
+          } else {
+            std::vector<std::vector<double>> members;
+            members.reserve(member_idx[c].size());
+            for (const std::size_t i : member_idx[c]) members.push_back(data[i]);
+            result.centroids[c] = shape_extract(members, result.centroids[c]);
+          }
         }
       });
     }
@@ -172,23 +230,31 @@ KShapeResult kshape(const std::vector<std::vector<double>>& series,
     prev_assignments = result.assignments;
     std::vector<double> best_dist(data.size(), 0.0);
     constexpr std::size_t kSeriesPerShard = 16;
-    util::parallel_for(0, data.size(), kSeriesPerShard,
-                       [&](std::size_t lo, std::size_t hi) {
-                         for (std::size_t i = lo; i < hi; ++i) {
-                           double best = std::numeric_limits<double>::infinity();
-                           std::size_t best_c = prev_assignments[i];
-                           for (std::size_t c = 0; c < opts.k; ++c) {
-                             if (la::norm2(result.centroids[c]) == 0.0) continue;
-                             const double d = sbd_distance(result.centroids[c], data[i]);
-                             if (d < best) {
-                               best = d;
-                               best_c = c;
-                             }
-                           }
-                           result.assignments[i] = best_c;
-                           best_dist[i] = best;
-                         }
-                       });
+    util::parallel_for(
+        0, data.size(), kSeriesPerShard, [&](std::size_t lo, std::size_t hi) {
+          SbdScratch& scratch = sbd_scratch();
+          for (std::size_t i = lo; i < hi; ++i) {
+            double best = std::numeric_limits<double>::infinity();
+            std::size_t best_c = prev_assignments[i];
+            for (std::size_t c = 0; c < opts.k; ++c) {
+              const double cnorm = batch_mode
+                                       ? centroid_batch->norm(c)
+                                       : la::norm2(result.centroids[c]);
+              if (cnorm == 0.0) continue;
+              const double d =
+                  batch_mode
+                      ? sbd_pair_distance(*centroid_batch, c, *data_batch, i,
+                                          scratch)
+                      : sbd_distance(result.centroids[c], data[i]);
+              if (d < best) {
+                best = d;
+                best_c = c;
+              }
+            }
+            result.assignments[i] = best_c;
+            best_dist[i] = best;
+          }
+        });
     result.inertia = 0.0;
     for (const double d : best_dist) result.inertia += d;
 
@@ -204,10 +270,16 @@ KShapeResult kshape(const std::vector<std::vector<double>>& series,
       if (!empty) continue;
       double worst = -1.0;
       std::size_t worst_i = 0;
+      SbdScratch& scratch = sbd_scratch();
       for (std::size_t i = 0; i < data.size(); ++i) {
         const auto owner = result.assignments[i];
-        if (la::norm2(result.centroids[owner]) == 0.0) continue;
-        const double d = sbd_distance(result.centroids[owner], data[i]);
+        const double onorm = batch_mode ? centroid_batch->norm(owner)
+                                        : la::norm2(result.centroids[owner]);
+        if (onorm == 0.0) continue;
+        const double d = batch_mode
+                             ? sbd_pair_distance(*centroid_batch, owner,
+                                                 *data_batch, i, scratch)
+                             : sbd_distance(result.centroids[owner], data[i]);
         if (d > worst) {
           worst = d;
           worst_i = i;
@@ -215,6 +287,9 @@ KShapeResult kshape(const std::vector<std::vector<double>>& series,
       }
       result.assignments[worst_i] = c;
       result.centroids[c] = data[worst_i];
+      // Keep the centroid batch in sync immediately: a later empty cluster
+      // in this same loop may measure distances against cluster c.
+      if (batch_mode) centroid_batch->set_series(c, data[worst_i]);
     }
 
     if (result.assignments == prev_assignments) {

@@ -24,6 +24,13 @@ struct KShapeOptions {
   std::uint64_t seed = 7;
   /// z-normalize every series before clustering (the canonical setting).
   bool z_normalize_input = true;
+  /// Use the ts::SeriesBatch spectrum cache for assignment and refinement:
+  /// member spectra are computed once and persist across iterations,
+  /// centroid spectra refresh once per refinement. false falls back to
+  /// per-pair sbd() calls. Both paths are bitwise identical (they share the
+  /// SBD kernel; property-tested) — the flag exists for that comparison and
+  /// for memory-constrained callers.
+  bool use_cached_spectra = true;
 };
 
 struct KShapeResult {

@@ -5,10 +5,8 @@
 
 #include "la/fft.hpp"
 #include "la/vector_ops.hpp"
+#include "ts/series_batch.hpp"
 #include "util/error.hpp"
-#include "util/metrics.hpp"
-#include "util/parallel.hpp"
-#include "util/trace.hpp"
 
 namespace appscope::ts {
 
@@ -29,15 +27,12 @@ std::vector<double> ncc_c(std::span<const double> x, std::span<const double> y) 
 }
 
 SbdResult sbd(std::span<const double> x, std::span<const double> y) {
-  const std::vector<double> ncc = ncc_c(x, y);
-  const std::size_t m = x.size();
-  SbdResult result;
-  const std::size_t best = la::argmax(ncc);
-  result.ncc = std::clamp(ncc[best], -1.0, 1.0);
-  result.distance = 1.0 - result.ncc;
-  result.shift = static_cast<std::ptrdiff_t>(best) -
-                 static_cast<std::ptrdiff_t>(m - 1);
-  return result;
+  APPSCOPE_REQUIRE(!x.empty() && x.size() == y.size(),
+                   "sbd: equal non-zero lengths required");
+  // Runs the canonical kernel with fresh spectra (empty spectrum spans);
+  // SeriesBatch callers hit the same kernel with cached ones.
+  return detail::sbd_spans(x, la::norm2(x), {}, y, la::norm2(y), {},
+                           sbd_scratch());
 }
 
 double sbd_distance(std::span<const double> x, std::span<const double> y) {
@@ -62,32 +57,18 @@ std::vector<double> align_to(std::span<const double> x, std::span<const double> 
 
 std::vector<std::vector<double>> sbd_distance_matrix(
     const std::vector<std::vector<double>>& series) {
-  const std::size_t n = series.size();
-  APPSCOPE_REQUIRE(n >= 1, "sbd_distance_matrix: no series");
-  const std::size_t len = series.front().size();
-  for (const auto& s : series) {
-    APPSCOPE_REQUIRE(s.size() == len, "sbd_distance_matrix: ragged series");
-  }
-  const util::ScopedSpan span("ts.sbd_matrix");
-  util::StageTimer timer("ts.sbd_matrix");
-  timer.add_items(n * (n - 1) / 2);  // pairwise distances computed
-
-  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
-  // Row shards; later rows have shorter upper triangles, so a small grain
-  // keeps the shards balanced.
-  constexpr std::size_t kRowsPerShard = 4;
-  util::parallel_for(0, n, kRowsPerShard,
-                     [&](std::size_t lo, std::size_t hi) {
-                       for (std::size_t i = lo; i < hi; ++i) {
-                         for (std::size_t j = i + 1; j < n; ++j) {
-                           d[i][j] = sbd_distance(series[i], series[j]);
-                         }
-                       }
-                     });
+  // Compatibility shim over the SeriesBatch overload (ts/series_batch.hpp):
+  // builds the spectrum cache once, computes the flat matrix, and unpacks
+  // into the legacy nested layout.
+  const SeriesBatch batch(series);
+  const DistanceMatrix d = sbd_distance_matrix(batch);
+  const std::size_t n = d.size();
+  std::vector<std::vector<double>> out(n);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) d[j][i] = d[i][j];
+    const std::span<const double> row = d.row(i);
+    out[i].assign(row.begin(), row.end());
   }
-  return d;
+  return out;
 }
 
 }  // namespace appscope::ts

@@ -46,11 +46,11 @@ std::vector<double> shift_series(std::span<const double> y, std::ptrdiff_t shift
 std::vector<double> align_to(std::span<const double> x, std::span<const double> y);
 
 /// Symmetric pairwise SBD matrix over `series` (all equal length >= 2),
-/// zero diagonal. The O(N²) fill is row-sharded across the global
-/// util::ThreadPool; every entry is an independent sbd_distance call, so
-/// the result is bitwise identical at any thread count. This is the
-/// dominant cost of hierarchical clustering over communes and the input to
-/// dendrogram-based cartography at nationwide scale.
+/// zero diagonal, in the legacy nested layout. Compatibility shim over the
+/// SeriesBatch overload (ts/series_batch.hpp), which precomputes each
+/// series' spectrum once instead of per pair — prefer it (and the flat
+/// DistanceMatrix it returns) in new code. Row-sharded across the global
+/// util::ThreadPool; bitwise identical at any thread count.
 std::vector<std::vector<double>> sbd_distance_matrix(
     const std::vector<std::vector<double>>& series);
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "geo/territory.hpp"
+#include "la/fft.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/correlation.hpp"
 #include "synth/generator.hpp"
@@ -102,6 +103,52 @@ TEST(MetricsDeterminism, SbdMatrixIsIdentical) {
   const auto [off, on] =
       both_ways([&] { return ts::sbd_distance_matrix(series); });
   EXPECT_EQ(off, on);
+}
+
+TEST(MetricsDeterminism, FftTransformsAreIdentical) {
+  // The plan-cache counters (la.fft.transforms, la.fft.plan_cache_hits,
+  // la.fft.plan_cache_misses) must stay observation-only: same spectra and
+  // correlations bit for bit with the gate on or off.
+  const auto series = fixture_series(2);
+  const auto [off, on] = both_ways([&] {
+    std::vector<double> flat;
+    const auto spectrum = la::rfft(series[0], 512);
+    for (const auto& bin : spectrum) {
+      flat.push_back(bin.real());
+      flat.push_back(bin.imag());
+    }
+    const auto back = la::irfft(spectrum, 512);
+    flat.insert(flat.end(), back.begin(), back.end());
+    const auto corr = la::cross_correlation_fft(series[0], series[1]);
+    flat.insert(flat.end(), corr.begin(), corr.end());
+    return flat;
+  });
+  EXPECT_EQ(off, on);
+}
+
+TEST(MetricsDeterminism, FftCountersAreRecordedWhenEnabled) {
+  const bool was = util::MetricsRegistry::enabled();
+  util::MetricsRegistry::set_enabled(true);
+  util::MetricsRegistry::global().reset();
+  const auto series = fixture_series(2);
+  (void)la::cross_correlation_fft(series[0], series[1]);
+  const util::MetricsSnapshot snap = util::MetricsRegistry::global().snapshot();
+  util::MetricsRegistry::set_enabled(was);
+  util::MetricsRegistry::global().reset();
+
+  // One rfft per input plus the inverse: at least 3 transforms, and every
+  // plan lookup lands as either a hit or a miss.
+  ASSERT_TRUE(snap.counters.contains("la.fft.transforms"));
+  EXPECT_GE(snap.counters.at("la.fft.transforms"), 3u);
+  const std::uint64_t hits =
+      snap.counters.contains("la.fft.plan_cache_hits")
+          ? snap.counters.at("la.fft.plan_cache_hits")
+          : 0;
+  const std::uint64_t misses =
+      snap.counters.contains("la.fft.plan_cache_misses")
+          ? snap.counters.at("la.fft.plan_cache_misses")
+          : 0;
+  EXPECT_GE(hits + misses, 3u);
 }
 
 TEST(MetricsDeterminism, PeakDetectionIsIdentical) {

@@ -64,6 +64,75 @@ TEST(Fft, ParsevalHolds) {
   EXPECT_NEAR(freq_energy / 32.0, time_energy, 1e-10);
 }
 
+TEST(RealFft, RoundTripRecoversSignal) {
+  util::Rng rng(8);
+  for (std::size_t n = 2; n <= 1024; n *= 2) {
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.uniform(-3, 3);
+    const auto spectrum = rfft(x, n);
+    ASSERT_EQ(spectrum.size(), n / 2 + 1) << "n=" << n;
+    const auto back = irfft(spectrum, n);
+    ASSERT_EQ(back.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(back[i], x[i], 1e-10) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(RealFft, MatchesComplexFft) {
+  util::Rng rng(9);
+  for (std::size_t n = 2; n <= 512; n *= 2) {
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.uniform(-3, 3);
+    const auto spectrum = rfft(x, n);
+    std::vector<std::complex<double>> full(n);
+    for (std::size_t i = 0; i < n; ++i) full[i] = x[i];
+    fft(full, false);
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+      EXPECT_NEAR(spectrum[k].real(), full[k].real(), 1e-10)
+          << "n=" << n << " k=" << k;
+      EXPECT_NEAR(spectrum[k].imag(), full[k].imag(), 1e-10)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(RealFft, ZeroPadsShortInput) {
+  const std::vector<double> x{1.0, -2.0, 3.0};
+  const auto spectrum = rfft(x, 8);
+  std::vector<std::complex<double>> full(8, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) full[i] = x[i];
+  fft(full, false);
+  for (std::size_t k = 0; k <= 4; ++k) {
+    EXPECT_NEAR(spectrum[k].real(), full[k].real(), 1e-12);
+    EXPECT_NEAR(spectrum[k].imag(), full[k].imag(), 1e-12);
+  }
+}
+
+TEST(RealFft, EdgeBinsAreReal) {
+  util::Rng rng(10);
+  std::vector<double> x(64);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const auto spectrum = rfft(x, 64);
+  EXPECT_NEAR(spectrum.front().imag(), 0.0, 1e-12);
+  EXPECT_NEAR(spectrum.back().imag(), 0.0, 1e-12);
+}
+
+TEST(FftPlanCache, SharedPlanMatchesFreshPlan) {
+  util::Rng rng(11);
+  std::vector<std::complex<double>> a(128), b(128);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    b[i] = a[i];
+  }
+  const FftPlan fresh(128);  // direct construction bypasses the cache
+  fresh.forward(a.data());
+  FftPlan::plan_for(128).forward(b.data());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "i=" << i;  // same plan tables => same bits
+  }
+}
+
 TEST(CrossCorrelation, DirectMatchesHandComputation) {
   // a = [1,2,3], b = [1,1]: r[k] = sum_j a[j+s] b[j], s = k-1.
   const auto r = cross_correlation_direct({1, 2, 3}, {1, 1});
@@ -97,6 +166,34 @@ TEST(CrossCorrelation, UnequalLengths) {
   ASSERT_EQ(direct.size(), 6u);
   for (std::size_t i = 0; i < direct.size(); ++i) {
     EXPECT_NEAR(direct[i], fast[i], 1e-10);
+  }
+}
+
+TEST(CrossCorrelation, PathsAgreeAtDispatchBoundary) {
+  // The dispatcher picks direct at m <= kCrossCorrelationDirectThreshold and
+  // the spectral path above; both sides of the boundary must agree so the
+  // cutover is purely a performance decision.
+  util::Rng rng(12);
+  constexpr std::size_t kT = kCrossCorrelationDirectThreshold;
+  for (const std::size_t n : {kT - 1, kT, kT + 1, kT + 2}) {
+    std::vector<double> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.uniform(-2, 2);
+      b[i] = rng.uniform(-2, 2);
+    }
+    const auto direct = cross_correlation_direct(a, b);
+    const auto fast = cross_correlation_fft(a, b);
+    const auto dispatched = cross_correlation(a, b);
+    ASSERT_EQ(direct.size(), fast.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_NEAR(direct[i], fast[i], 1e-12) << "n=" << n << " i=" << i;
+    }
+    // The dispatcher returns one of the two bit-exactly.
+    const auto& expected = n <= kT ? direct : fast;
+    ASSERT_EQ(dispatched.size(), expected.size());
+    for (std::size_t i = 0; i < dispatched.size(); ++i) {
+      EXPECT_EQ(dispatched[i], expected[i]) << "n=" << n << " i=" << i;
+    }
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "core/dataset_io.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
@@ -42,17 +43,41 @@ bool has_flag(int argc, char** argv, const std::string& flag) {
   return false;
 }
 
-core::TrafficDataset build_dataset(const synth::ScenarioConfig& config) {
+namespace {
+std::string snapshot_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (util::starts_with(arg, "--snapshot=")) return arg.substr(11);
+  }
+  if (const char* env = std::getenv("APPSCOPE_SNAPSHOT")) return env;
+  return "";
+}
+
+core::TrafficDataset build_dataset_impl(const synth::ScenarioConfig& config,
+                                        const std::string& snapshot) {
   const auto start = std::chrono::steady_clock::now();
-  core::TrafficDataset dataset = core::TrafficDataset::generate(config);
+  core::TrafficDataset dataset =
+      snapshot.empty() ? core::TrafficDataset::generate(config)
+                       : core::load_or_generate_snapshot(config, snapshot);
   const auto elapsed = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)
                            .count();
   std::cout << "scenario: " << dataset.commune_count() << " communes, "
             << dataset.subscribers().total() << " subscribers, "
-            << dataset.service_count() << " services; generated in "
+            << dataset.service_count() << " services; "
+            << (snapshot.empty() ? "generated" : "ready") << " in "
             << util::format_double(elapsed, 2) << " s\n\n";
   return dataset;
+}
+}  // namespace
+
+core::TrafficDataset build_dataset(const synth::ScenarioConfig& config) {
+  return build_dataset_impl(config, "");
+}
+
+core::TrafficDataset build_dataset(const synth::ScenarioConfig& config,
+                                   int argc, char** argv) {
+  return build_dataset_impl(config, snapshot_path(argc, argv));
 }
 
 void print_expectation(const std::string& label, const std::string& paper,

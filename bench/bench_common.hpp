@@ -28,6 +28,12 @@ bool has_flag(int argc, char** argv, const std::string& flag);
 /// Builds the dataset and prints a one-paragraph scenario summary.
 core::TrafficDataset build_dataset(const synth::ScenarioConfig& config);
 
+/// Same, honoring "--snapshot=<path>" (or APPSCOPE_SNAPSHOT): load the
+/// binary snapshot at <path> if it exists, otherwise generate and save it
+/// there, so repeated bench runs skip dataset generation entirely.
+core::TrafficDataset build_dataset(const synth::ScenarioConfig& config,
+                                   int argc, char** argv);
+
 /// Prints "<label>: paper=<paper> measured=<measured>".
 void print_expectation(const std::string& label, const std::string& paper,
                        const std::string& measured);

@@ -95,7 +95,7 @@ void measured_tail(const synth::ScenarioConfig& config) {
 int main(int argc, char** argv) {
   std::cout << util::rule("bench fig02_service_ranking") << "\n";
   const synth::ScenarioConfig config = bench::select_scenario(argc, argv);
-  const core::TrafficDataset dataset = bench::build_dataset(config);
+  const core::TrafficDataset dataset = bench::build_dataset(config, argc, argv);
   run_direction(dataset, workload::Direction::kDownlink);
   run_direction(dataset, workload::Direction::kUplink);
   if (bench::has_flag(argc, argv, "--measured-tail")) {

@@ -46,7 +46,7 @@ void show_service(const core::TrafficDataset& dataset,
 int main(int argc, char** argv) {
   std::cout << util::rule("bench fig04_timeseries_peaks") << "\n";
   const core::TrafficDataset dataset =
-      bench::build_dataset(bench::select_scenario(argc, argv));
+      bench::build_dataset(bench::select_scenario(argc, argv), argc, argv);
   const core::PeakReport report =
       core::analyze_peaks(dataset, workload::Direction::kDownlink);
 

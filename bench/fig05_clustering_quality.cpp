@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
   std::cout << util::rule("bench fig05_clustering_quality") << "\n";
   const bool baseline = bench::has_flag(argc, argv, "--baseline");
   const core::TrafficDataset dataset =
-      bench::build_dataset(bench::select_scenario(argc, argv));
+      bench::build_dataset(bench::select_scenario(argc, argv), argc, argv);
   run_direction(dataset, workload::Direction::kDownlink, baseline);
   run_direction(dataset, workload::Direction::kUplink, baseline);
   if (bench::has_flag(argc, argv, "--dendrogram")) {

@@ -91,7 +91,7 @@ void parameter_sweep(const core::TrafficDataset& dataset) {
 int main(int argc, char** argv) {
   std::cout << util::rule("bench fig06_peak_times") << "\n";
   const core::TrafficDataset dataset =
-      bench::build_dataset(bench::select_scenario(argc, argv));
+      bench::build_dataset(bench::select_scenario(argc, argv), argc, argv);
   const core::PeakReport report =
       core::analyze_peaks(dataset, workload::Direction::kDownlink);
   print_wheel(dataset, report);

@@ -16,7 +16,7 @@ using namespace appscope;
 int main(int argc, char** argv) {
   std::cout << util::rule("bench fig07_peak_intensity") << "\n";
   const core::TrafficDataset dataset =
-      bench::build_dataset(bench::select_scenario(argc, argv));
+      bench::build_dataset(bench::select_scenario(argc, argv), argc, argv);
   const core::PeakReport report =
       core::analyze_peaks(dataset, workload::Direction::kDownlink);
 

@@ -15,7 +15,7 @@ using namespace appscope;
 int main(int argc, char** argv) {
   std::cout << util::rule("bench fig08_spatial_concentration") << "\n";
   const core::TrafficDataset dataset =
-      bench::build_dataset(bench::select_scenario(argc, argv));
+      bench::build_dataset(bench::select_scenario(argc, argv), argc, argv);
   const auto twitter = dataset.catalog().find("Twitter");
   if (!twitter) return 1;
 

@@ -16,7 +16,7 @@ using namespace appscope;
 int main(int argc, char** argv) {
   std::cout << util::rule("bench fig09_usage_maps") << "\n";
   const core::TrafficDataset dataset =
-      bench::build_dataset(bench::select_scenario(argc, argv));
+      bench::build_dataset(bench::select_scenario(argc, argv), argc, argv);
 
   for (const char* name : {"Twitter", "Netflix"}) {
     const auto idx = dataset.catalog().find(name);

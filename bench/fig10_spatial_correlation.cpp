@@ -56,7 +56,7 @@ void run_direction(const core::TrafficDataset& dataset, workload::Direction d) {
 int main(int argc, char** argv) {
   std::cout << util::rule("bench fig10_spatial_correlation") << "\n";
   const core::TrafficDataset dataset =
-      bench::build_dataset(bench::select_scenario(argc, argv));
+      bench::build_dataset(bench::select_scenario(argc, argv), argc, argv);
   run_direction(dataset, workload::Direction::kDownlink);
   run_direction(dataset, workload::Direction::kUplink);
 

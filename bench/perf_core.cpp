@@ -8,6 +8,7 @@
 
 #include <complex>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 
 #include "bench_common.hpp"
@@ -294,6 +295,61 @@ BENCHMARK(BM_KShapeThreads)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Snapshot store (src/io): the cost of a full analytic generation vs
+// saving/loading the binary snapshot of the same dataset, at example scale
+// on one thread. The load path is the acceptance metric of the snapshot
+// subsystem: it must beat regeneration by >= 20x (tracked in
+// BENCH_core.json).
+
+std::string snapshot_bench_path() {
+  return (std::filesystem::temp_directory_path() / "appscope_bench.snapshot")
+      .string();
+}
+
+void BM_DatasetGenerate(benchmark::State& state) {
+  util::ThreadPool::set_global_threads(1);
+  const auto config = synth::ScenarioConfig::example_scale();
+  for (auto _ : state) {
+    const core::TrafficDataset dataset = core::TrafficDataset::generate(config);
+    benchmark::DoNotOptimize(dataset.direction_total(workload::Direction::kDownlink));
+  }
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_DatasetGenerate)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SnapshotSave(benchmark::State& state) {
+  util::ThreadPool::set_global_threads(1);
+  const auto config = synth::ScenarioConfig::example_scale();
+  const core::TrafficDataset dataset = core::TrafficDataset::generate(config);
+  const std::string path = snapshot_bench_path();
+  for (auto _ : state) {
+    dataset.save(path);
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(std::filesystem::file_size(path)));
+  std::filesystem::remove(path);
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_SnapshotSave)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  util::ThreadPool::set_global_threads(1);
+  const auto config = synth::ScenarioConfig::example_scale();
+  core::TrafficDataset::generate(config).save(snapshot_bench_path());
+  const std::string path = snapshot_bench_path();
+  for (auto _ : state) {
+    const core::TrafficDataset dataset = core::TrafficDataset::load(path);
+    benchmark::DoNotOptimize(dataset.direction_total(workload::Direction::kDownlink));
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(std::filesystem::file_size(path)));
+  std::filesystem::remove(path);
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // Console reporter that also collects per-benchmark real time (normalized
 // to nanoseconds, independent of each benchmark's display unit) for the

@@ -5,6 +5,7 @@
 // Run:  ./paper_report                          (test scale, stdout)
 //       ./paper_report --scale=example
 //       ./paper_report --out=report.md --csv-dir=figures_csv
+//       ./paper_report --snapshot=dataset.snap   (load-or-generate cache)
 #include <fstream>
 #include <iostream>
 
@@ -26,9 +27,19 @@ int main(int argc, char** argv) {
   if (scale == "example") config = synth::ScenarioConfig::example_scale();
   if (scale == "paper") config = synth::ScenarioConfig::paper_scale();
 
-  std::cerr << "generating " << config.country.commune_count
-            << "-commune dataset...\n";
-  const core::TrafficDataset dataset = core::TrafficDataset::generate(config);
+  // --snapshot=<path>: reuse the binary dataset snapshot at <path> if it
+  // exists (mmap-backed load, no regeneration), otherwise generate and save
+  // it there. The report is byte-identical either way.
+  const std::string snapshot = args.get_string("snapshot", "");
+  const core::TrafficDataset dataset = [&] {
+    if (!snapshot.empty()) {
+      std::cerr << "loading or generating snapshot " << snapshot << "...\n";
+      return core::load_or_generate_snapshot(config, snapshot);
+    }
+    std::cerr << "generating " << config.country.commune_count
+              << "-commune dataset...\n";
+    return core::TrafficDataset::generate(config);
+  }();
 
   core::StudyOptions study_options;
   study_options.cluster.k_max =

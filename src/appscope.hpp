@@ -74,6 +74,13 @@
 #include "synth/scenario.hpp"
 #include "synth/sinks.hpp"
 
+// io — binary dataset snapshot store
+#include "io/format.hpp"
+#include "io/snapshot.hpp"
+#include "io/snapshot_reader.hpp"
+#include "io/snapshot_sink.hpp"
+#include "io/snapshot_writer.hpp"
+
 // core — the paper's analyses
 #include "core/category_analysis.hpp"
 #include "core/compare.hpp"

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "io/snapshot.hpp"
 #include "util/error.hpp"
 
 namespace appscope::core {
@@ -82,6 +83,45 @@ TrafficDataset TrafficDataset::from_usage_records(
       sink.consume(cell);
     }
   });
+  return dataset;
+}
+
+void TrafficDataset::save(const std::string& path) const {
+  io::DatasetAggregates aggregates;
+  aggregates.services = catalog_->size();
+  aggregates.communes = territory_->size();
+  aggregates.national = national_->snapshot_data();
+  aggregates.commune_totals = commune_totals_->snapshot_data();
+  aggregates.urbanization = urbanization_->snapshot_data();
+  aggregates.downlink_total = totals_->downlink();
+  aggregates.uplink_total = totals_->uplink();
+  aggregates.cells_consumed = totals_->cells_consumed();
+  aggregates.class_subscribers = class_subscribers_;
+  io::write_snapshot(path, config_, *territory_, *subscribers_, *catalog_,
+                     aggregates);
+}
+
+TrafficDataset TrafficDataset::load(const std::string& path) {
+  io::LoadedSnapshot snap = io::read_snapshot(path);
+  TrafficDataset dataset(std::move(snap.config), std::move(snap.territory),
+                         std::move(snap.subscribers), std::move(snap.catalog));
+  // The constructor recomputes the per-class subscriber divisors from the
+  // decoded territory + subscriber base; they must agree with the stored
+  // section, or per-user analyses would silently diverge from the original.
+  for (std::size_t u = 0; u < geo::kUrbanizationCount; ++u) {
+    if (dataset.class_subscribers_[u] != snap.aggregates.class_subscribers[u]) {
+      throw util::InputError(
+          "snapshot: " + path +
+          ": per-class subscriber counts disagree with the stored territory "
+          "(corrupted or incompatible snapshot)");
+    }
+  }
+  dataset.national_->restore(snap.aggregates.national);
+  dataset.commune_totals_->restore(snap.aggregates.commune_totals);
+  dataset.urbanization_->restore(snap.aggregates.urbanization);
+  dataset.totals_->restore(snap.aggregates.downlink_total,
+                           snap.aggregates.uplink_total,
+                           snap.aggregates.cells_consumed);
   return dataset;
 }
 

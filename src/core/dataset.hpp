@@ -39,6 +39,18 @@ class TrafficDataset {
       const workload::ServiceCatalog& catalog,
       const std::vector<net::UsageRecord>& records);
 
+  // --- Snapshots ------------------------------------------------------------
+  /// Persists the dataset as one self-contained "appscope.snapshot/1" file
+  /// (config, territory, subscribers, catalog and all aggregates). Throws
+  /// util::InputError on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Reconstructs a dataset from a snapshot written by save(). The loaded
+  /// aggregates are bitwise-identical to the saved ones, so any analysis on
+  /// the loaded dataset reproduces the original byte for byte. Throws
+  /// util::InputError on any malformed, truncated or incompatible file.
+  static TrafficDataset load(const std::string& path);
+
   // --- Dimensions -----------------------------------------------------------
   std::size_t service_count() const noexcept { return catalog_->size(); }
   std::size_t commune_count() const noexcept { return territory_->size(); }

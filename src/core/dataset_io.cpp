@@ -4,6 +4,8 @@
 #include <fstream>
 #include <ostream>
 
+#include "io/serialize.hpp"
+#include "io/snapshot.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -24,7 +26,8 @@ void write_national_series_csv(const TrafficDataset& dataset, std::ostream& out)
       for (std::size_t h = 0; h < series.size(); ++h) {
         csv.write_row({dataset.catalog()[s].name,
                        std::string(workload::direction_name(d)),
-                       std::to_string(h), util::format_double(series[h], 1)});
+                       std::to_string(h),
+                       util::format_double_roundtrip(series[h])});
       }
     }
   }
@@ -44,8 +47,8 @@ void write_commune_totals_csv(const TrafficDataset& dataset, std::ostream& out) 
              std::to_string(c),
              std::string(geo::urbanization_name(
                  dataset.territory().communes()[c].urbanization)),
-             util::format_double(totals[c], 1),
-             util::format_double(per_user[c], 3)});
+             util::format_double_roundtrip(totals[c]),
+             util::format_double_roundtrip(per_user[c])});
       }
     }
   }
@@ -64,7 +67,8 @@ void write_urbanization_series_csv(const TrafficDataset& dataset,
           csv.write_row({dataset.catalog()[s].name,
                          std::string(workload::direction_name(d)),
                          std::string(geo::urbanization_name(cls)),
-                         std::to_string(h), util::format_double(series[h], 1)});
+                         std::to_string(h),
+                         util::format_double_roundtrip(series[h])});
         }
       }
     }
@@ -124,6 +128,25 @@ std::vector<CommuneTotalsRow> read_commune_totals_csv(std::string_view text) {
     out.push_back(std::move(row));
   }
   return out;
+}
+
+TrafficDataset load_or_generate_snapshot(const synth::ScenarioConfig& config,
+                                         const std::string& path) {
+  APPSCOPE_REQUIRE(!path.empty(), "load_or_generate_snapshot: empty path");
+  if (std::filesystem::exists(path)) {
+    const std::uint64_t stored = io::read_snapshot_config_hash(path);
+    const std::uint64_t wanted = io::config_hash(config);
+    if (stored != wanted) {
+      throw util::InputError(
+          "snapshot: " + path +
+          ": stored scenario config does not match the requested one "
+          "(delete the file to regenerate)");
+    }
+    return TrafficDataset::load(path);
+  }
+  TrafficDataset dataset = TrafficDataset::generate(config);
+  dataset.save(path);
+  return dataset;
 }
 
 }  // namespace appscope::core

@@ -48,4 +48,12 @@ struct CommuneTotalsRow {
 /// Throws InputError on malformed content.
 std::vector<CommuneTotalsRow> read_commune_totals_csv(std::string_view text);
 
+/// Loads the dataset snapshot at `path` if the file exists, otherwise
+/// generates the dataset from `config` and saves it there for next time.
+/// An existing snapshot whose embedded config does not match `config`
+/// throws util::InputError instead of silently regenerating — a stale
+/// snapshot path almost always means a mistyped flag, not intent.
+TrafficDataset load_or_generate_snapshot(const synth::ScenarioConfig& config,
+                                         const std::string& path);
+
 }  // namespace appscope::core

@@ -1,0 +1,122 @@
+#include "io/binary.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace appscope::io {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> bytes) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::byte b : bytes) {
+    crc = table[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fnv1a64(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const std::byte b : bytes) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+// --- ByteWriter -------------------------------------------------------------
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<std::byte>((v >> shift) & 0xFFu));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<std::byte>((v >> shift) & 0xFFu));
+  }
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  APPSCOPE_REQUIRE(s.size() <= 0xFFFFFFFFu, "ByteWriter: string too long");
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+void ByteWriter::raw(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::byte*>(data);
+  buffer_.insert(buffer_.end(), p, p + size);
+}
+
+// --- ByteReader -------------------------------------------------------------
+
+void ByteReader::require(std::size_t size) const {
+  if (remaining() < size) {
+    throw util::InputError("snapshot: truncated payload (need " +
+                           std::to_string(size) + " bytes, have " +
+                           std::to_string(remaining()) + ")");
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return static_cast<std::uint8_t>(bytes_[offset_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<std::uint32_t>(bytes_[offset_++]) << shift;
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<std::uint64_t>(bytes_[offset_++]) << shift;
+  }
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint32_t size = u32();
+  require(size);
+  std::string out(size, '\0');
+  std::memcpy(out.data(), bytes_.data() + offset_, size);
+  offset_ += size;
+  return out;
+}
+
+void ByteReader::raw(void* out, std::size_t size) {
+  require(size);
+  std::memcpy(out, bytes_.data() + offset_, size);
+  offset_ += size;
+}
+
+}  // namespace appscope::io

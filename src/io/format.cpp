@@ -1,0 +1,20 @@
+#include "io/format.hpp"
+
+namespace appscope::io {
+
+std::string_view section_name(SectionId id) noexcept {
+  switch (id) {
+    case SectionId::kConfig: return "config";
+    case SectionId::kTerritory: return "territory";
+    case SectionId::kSubscribers: return "subscribers";
+    case SectionId::kCatalog: return "catalog";
+    case SectionId::kNationalSeries: return "national_series";
+    case SectionId::kCommuneTotals: return "commune_totals";
+    case SectionId::kUrbanizationSeries: return "urbanization_series";
+    case SectionId::kTotals: return "totals";
+    case SectionId::kClassSubscribers: return "class_subscribers";
+  }
+  return "unknown";
+}
+
+}  // namespace appscope::io

@@ -1,0 +1,40 @@
+// appscope/io/serialize.hpp
+//
+// Binary encode/decode of the snapshot's self-containment sections: the
+// ScenarioConfig that produced a dataset, the geo::Territory it ran on, the
+// workload::SubscriberBase summary (per-commune counts) and the
+// workload::ServiceCatalog. Encodings are byte-stable (little-endian,
+// doubles as IEEE-754 bit patterns), so the same inputs always serialize to
+// the same bytes and encode -> decode is exact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/territory.hpp"
+#include "synth/scenario.hpp"
+#include "workload/catalog.hpp"
+#include "workload/population.hpp"
+
+namespace appscope::io {
+
+std::vector<std::byte> encode_config(const synth::ScenarioConfig& config);
+synth::ScenarioConfig decode_config(std::span<const std::byte> bytes);
+
+/// FNV-1a fingerprint of the byte-stable config encoding; stored in the
+/// snapshot header and used by load_or_generate to match a snapshot against
+/// the scenario a caller asks for.
+std::uint64_t config_hash(const synth::ScenarioConfig& config);
+
+std::vector<std::byte> encode_territory(const geo::Territory& territory);
+geo::Territory decode_territory(std::span<const std::byte> bytes);
+
+std::vector<std::byte> encode_subscribers(const workload::SubscriberBase& base);
+workload::SubscriberBase decode_subscribers(std::span<const std::byte> bytes);
+
+std::vector<std::byte> encode_catalog(const workload::ServiceCatalog& catalog);
+workload::ServiceCatalog decode_catalog(std::span<const std::byte> bytes);
+
+}  // namespace appscope::io

@@ -1,0 +1,250 @@
+#include "io/snapshot_reader.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "io/binary.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define APPSCOPE_SNAPSHOT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define APPSCOPE_SNAPSHOT_HAVE_MMAP 0
+#endif
+
+namespace appscope::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw util::InputError("snapshot: " + path + ": " + what);
+}
+
+}  // namespace
+
+/// Owns the file bytes: either an mmap view (base/map_bytes) or, on
+/// platforms without mmap, a buffered copy.
+struct SnapshotReader::Backing {
+  const std::byte* base = nullptr;
+  std::size_t size = 0;
+  bool is_mapping = false;
+#if APPSCOPE_SNAPSHOT_HAVE_MMAP
+  void* map_addr = nullptr;
+  std::size_t map_bytes = 0;
+#endif
+  std::vector<std::byte> buffer;
+
+  ~Backing() {
+#if APPSCOPE_SNAPSHOT_HAVE_MMAP
+    if (map_addr != nullptr) ::munmap(map_addr, map_bytes);
+#endif
+  }
+};
+
+SnapshotReader::SnapshotReader(const std::string& path)
+    : path_(path), backing_(std::make_unique<Backing>()) {
+  util::ScopedSpan span("snapshot.open");
+#if APPSCOPE_SNAPSHOT_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(path_, "cannot open for reading");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    fail(path_, "cannot stat");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED) fail(path_, "mmap failed");
+    backing_->map_addr = addr;
+    backing_->map_bytes = size;
+    backing_->base = static_cast<const std::byte*>(addr);
+    backing_->size = size;
+    backing_->is_mapping = true;
+  } else {
+    ::close(fd);
+  }
+#else
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path_, "cannot open for reading");
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  if (end < 0) fail(path_, "cannot stat");
+  in.seekg(0);
+  backing_->buffer.resize(static_cast<std::size_t>(end));
+  in.read(reinterpret_cast<char*>(backing_->buffer.data()),
+          static_cast<std::streamsize>(backing_->buffer.size()));
+  if (!in) fail(path_, "read failed");
+  backing_->base = backing_->buffer.data();
+  backing_->size = backing_->buffer.size();
+#endif
+  validate();
+  if (util::MetricsRegistry::enabled()) {
+    util::MetricsRegistry::global().add("io.snapshot.bytes_read",
+                                        backing_->size);
+  }
+}
+
+SnapshotReader::~SnapshotReader() = default;
+
+std::span<const std::byte> SnapshotReader::bytes() const noexcept {
+  return {backing_->base, backing_->size};
+}
+
+bool SnapshotReader::mapped() const noexcept { return backing_->is_mapping; }
+
+void SnapshotReader::validate() {
+  const std::span<const std::byte> file = bytes();
+  if (file.size() < kHeaderBytes) fail(path_, "truncated (no header)");
+
+  // Magic first — anything else about a foreign file is noise.
+  for (std::size_t i = 0; i < kSnapshotMagic.size(); ++i) {
+    if (static_cast<std::uint8_t>(file[i]) != kSnapshotMagic[i]) {
+      fail(path_, "bad magic (not an appscope snapshot)");
+    }
+  }
+
+  ByteReader r(file.subspan(kSnapshotMagic.size(),
+                            kHeaderBytes - kSnapshotMagic.size()));
+  header_.version = r.u32();
+  if (header_.version == 0 || header_.version > kSnapshotVersion) {
+    fail(path_, "unsupported format version " + std::to_string(header_.version) +
+                    " (this build reads up to " +
+                    std::to_string(kSnapshotVersion) + ")");
+  }
+  header_.config_hash = r.u64();
+  header_.traffic_seed = r.u64();
+  header_.services = r.u32();
+  header_.communes = r.u32();
+  header_.hours = r.u32();
+  header_.directions = r.u32();
+  header_.urbanization_classes = r.u32();
+  header_.section_count = r.u32();
+  header_.file_bytes = r.u64();
+  header_.table_crc = r.u32();
+
+  if (header_.file_bytes != file.size()) {
+    fail(path_, "truncated (header expects " +
+                    std::to_string(header_.file_bytes) + " bytes, file has " +
+                    std::to_string(file.size()) + ")");
+  }
+  if (header_.section_count > kMaxSections) {
+    fail(path_, "section count out of range");
+  }
+  if (file.size() < kPayloadStart) fail(path_, "truncated (no section table)");
+
+  const std::span<const std::byte> table =
+      file.subspan(kHeaderBytes, kMaxSections * kSectionEntryBytes);
+  if (crc32(table) != header_.table_crc) {
+    if (util::MetricsRegistry::enabled()) {
+      util::MetricsRegistry::global().add("io.snapshot.checksum_failures");
+    }
+    fail(path_, "section table checksum mismatch");
+  }
+
+  ByteReader tr(table);
+  entries_.reserve(header_.section_count);
+  for (std::uint32_t i = 0; i < header_.section_count; ++i) {
+    SectionEntry e;
+    e.id = static_cast<SectionId>(tr.u32());
+    const std::uint32_t kind = tr.u32();
+    if (kind > static_cast<std::uint32_t>(SectionKind::kU64)) {
+      fail(path_, "unknown section kind");
+    }
+    e.kind = static_cast<SectionKind>(kind);
+    e.offset = tr.u64();
+    e.payload_bytes = tr.u64();
+    e.crc = tr.u32();
+    tr.u32();  // reserved
+    if (e.offset < kPayloadStart || e.offset % kSectionAlignment != 0 ||
+        e.offset + e.payload_bytes > file.size() ||
+        e.offset + e.payload_bytes < e.offset) {
+      fail(path_, "section '" + std::string(section_name(e.id)) +
+                      "' out of file bounds");
+    }
+    if (std::any_of(entries_.begin(), entries_.end(),
+                    [&](const SectionEntry& prev) { return prev.id == e.id; })) {
+      fail(path_, "duplicate section id");
+    }
+    entries_.push_back(e);
+  }
+
+  // Per-section payload checksums, each under its own span so a slow
+  // verification shows up attributed in the trace.
+  for (const SectionEntry& e : entries_) {
+    util::ScopedSpan section_span("snapshot.verify." +
+                                  std::string(section_name(e.id)));
+    const auto payload =
+        file.subspan(static_cast<std::size_t>(e.offset),
+                     static_cast<std::size_t>(e.payload_bytes));
+    if (crc32(payload) != e.crc) {
+      if (util::MetricsRegistry::enabled()) {
+        util::MetricsRegistry::global().add("io.snapshot.checksum_failures");
+      }
+      fail(path_, "section '" + std::string(section_name(e.id)) +
+                      "' checksum mismatch (corrupted)");
+    }
+    if (util::MetricsRegistry::enabled()) {
+      util::MetricsRegistry::global().add("io.snapshot.sections");
+    }
+  }
+}
+
+bool SnapshotReader::has_section(SectionId id) const noexcept {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const SectionEntry& e) { return e.id == id; });
+}
+
+const SectionEntry& SnapshotReader::entry(SectionId id) const {
+  for (const SectionEntry& e : entries_) {
+    if (e.id == id) return e;
+  }
+  fail(path_, "missing section '" + std::string(section_name(id)) + "'");
+}
+
+std::span<const std::byte> SnapshotReader::section(SectionId id) const {
+  const SectionEntry& e = entry(id);
+  return bytes().subspan(static_cast<std::size_t>(e.offset),
+                         static_cast<std::size_t>(e.payload_bytes));
+}
+
+std::span<const double> SnapshotReader::f64_section(SectionId id) const {
+  const SectionEntry& e = entry(id);
+  if (e.kind != SectionKind::kF64 || e.payload_bytes % sizeof(double) != 0) {
+    fail(path_, "section '" + std::string(section_name(id)) +
+                    "' is not an f64 column");
+  }
+  const std::span<const std::byte> raw = section(id);
+  APPSCOPE_CHECK(reinterpret_cast<std::uintptr_t>(raw.data()) %
+                         alignof(double) ==
+                     0,
+                 "snapshot: misaligned f64 section view");
+  return {reinterpret_cast<const double*>(raw.data()),
+          raw.size() / sizeof(double)};
+}
+
+std::span<const std::uint64_t> SnapshotReader::u64_section(SectionId id) const {
+  const SectionEntry& e = entry(id);
+  if (e.kind != SectionKind::kU64 ||
+      e.payload_bytes % sizeof(std::uint64_t) != 0) {
+    fail(path_, "section '" + std::string(section_name(id)) +
+                    "' is not a u64 column");
+  }
+  const std::span<const std::byte> raw = section(id);
+  APPSCOPE_CHECK(reinterpret_cast<std::uintptr_t>(raw.data()) %
+                         alignof(std::uint64_t) ==
+                     0,
+                 "snapshot: misaligned u64 section view");
+  return {reinterpret_cast<const std::uint64_t*>(raw.data()),
+          raw.size() / sizeof(std::uint64_t)};
+}
+
+}  // namespace appscope::io

@@ -1,0 +1,66 @@
+// appscope/io/snapshot_reader.hpp
+//
+// Validating reader for the "appscope.snapshot/1" format with an
+// mmap-backed zero-copy path: on POSIX the file is mapped read-only and
+// every section accessor returns a span pointing straight into the mapping
+// (payloads are kSectionAlignment-aligned in the file, so f64/u64 columns
+// can be viewed in place); platforms without mmap fall back to one buffered
+// read. All validation happens in the constructor — bad magic, version
+// skew, truncation, table/section checksum mismatches and malformed table
+// entries throw util::InputError before any payload is interpreted, never
+// UB.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/format.hpp"
+
+namespace appscope::io {
+
+class SnapshotReader {
+ public:
+  /// Opens, maps and fully validates `path`. Throws util::InputError on any
+  /// structural problem (see file comment).
+  explicit SnapshotReader(const std::string& path);
+  ~SnapshotReader();
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  const SnapshotHeader& header() const noexcept { return header_; }
+  const std::vector<SectionEntry>& sections() const noexcept { return entries_; }
+  bool has_section(SectionId id) const noexcept;
+
+  /// Payload view of one section (zero-copy into the mapping when mapped).
+  /// Throws util::InputError if the section is absent.
+  std::span<const std::byte> section(SectionId id) const;
+
+  /// Typed column views; throw util::InputError when the section kind or
+  /// element size does not match.
+  std::span<const double> f64_section(SectionId id) const;
+  std::span<const std::uint64_t> u64_section(SectionId id) const;
+
+  /// True when the file is mmap-viewed (zero-copy); false on the buffered
+  /// fallback path.
+  bool mapped() const noexcept;
+
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t file_bytes() const noexcept { return header_.file_bytes; }
+
+ private:
+  struct Backing;  // mmap handle or owned buffer
+
+  std::span<const std::byte> bytes() const noexcept;
+  const SectionEntry& entry(SectionId id) const;
+  void validate();
+
+  std::string path_;
+  std::unique_ptr<Backing> backing_;
+  SnapshotHeader header_;
+  std::vector<SectionEntry> entries_;
+};
+
+}  // namespace appscope::io

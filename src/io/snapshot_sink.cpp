@@ -1,0 +1,54 @@
+#include "io/snapshot_sink.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace appscope::io {
+
+SnapshotSink::SnapshotSink(std::string path,
+                           const synth::ScenarioConfig& config,
+                           const geo::Territory& territory,
+                           const workload::SubscriberBase& subscribers,
+                           const workload::ServiceCatalog& catalog)
+    : path_(std::move(path)),
+      config_(config),
+      territory_(territory),
+      subscribers_(subscribers),
+      catalog_(catalog),
+      national_(catalog.size()),
+      commune_totals_(catalog.size(), territory.size()),
+      urbanization_(catalog.size()) {
+  APPSCOPE_REQUIRE(subscribers.commune_count() == territory.size(),
+                   "SnapshotSink: subscriber base disagrees with territory");
+}
+
+void SnapshotSink::consume(const synth::TrafficCell& cell) {
+  national_.consume(cell);
+  commune_totals_.consume(cell);
+  urbanization_.consume(cell);
+  totals_.consume(cell);
+}
+
+SnapshotStats SnapshotSink::finish() {
+  APPSCOPE_REQUIRE(!finished_, "SnapshotSink: finish called twice");
+  finished_ = true;
+
+  DatasetAggregates aggregates;
+  aggregates.services = catalog_.size();
+  aggregates.communes = territory_.size();
+  aggregates.national = national_.snapshot_data();
+  aggregates.commune_totals = commune_totals_.snapshot_data();
+  aggregates.urbanization = urbanization_.snapshot_data();
+  aggregates.downlink_total = totals_.downlink();
+  aggregates.uplink_total = totals_.uplink();
+  aggregates.cells_consumed = totals_.cells_consumed();
+  for (std::size_t u = 0; u < geo::kUrbanizationCount; ++u) {
+    aggregates.class_subscribers[u] =
+        subscribers_.total_in(territory_, static_cast<geo::Urbanization>(u));
+  }
+  return write_snapshot(path_, config_, territory_, subscribers_, catalog_,
+                        aggregates);
+}
+
+}  // namespace appscope::io

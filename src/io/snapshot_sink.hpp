@@ -1,0 +1,52 @@
+// appscope/io/snapshot_sink.hpp
+//
+// Streaming persistence: a TrafficSink that folds the generated cell
+// stream into the same four aggregate families a TrafficDataset keeps
+// (O(aggregates) memory, exactly like the in-memory sinks) and writes one
+// "appscope.snapshot/1" file on finish(). Plugs into any producer that
+// feeds a synth::TrafficSink — generation persists while it aggregates,
+// with no event-level buffering.
+#pragma once
+
+#include <string>
+
+#include "io/snapshot.hpp"
+#include "synth/sinks.hpp"
+
+namespace appscope::io {
+
+class SnapshotSink final : public synth::TrafficSink {
+ public:
+  /// All references must outlive the sink; they are serialized into the
+  /// snapshot on finish() so the file is self-contained.
+  SnapshotSink(std::string path, const synth::ScenarioConfig& config,
+               const geo::Territory& territory,
+               const workload::SubscriberBase& subscribers,
+               const workload::ServiceCatalog& catalog);
+
+  void consume(const synth::TrafficCell& cell) override;
+
+  /// Writes the snapshot file. Call exactly once, after the producer is
+  /// done streaming. Throws util::InputError on I/O failure.
+  SnapshotStats finish();
+
+ private:
+  std::string path_;
+  const synth::ScenarioConfig& config_;
+  const geo::Territory& territory_;
+  const workload::SubscriberBase& subscribers_;
+  const workload::ServiceCatalog& catalog_;
+
+  synth::NationalSeriesSink national_;
+  synth::CommuneTotalsSink commune_totals_;
+  synth::UrbanizationSeriesSink urbanization_;
+  synth::TotalsSink totals_;
+  bool finished_ = false;
+};
+
+}  // namespace appscope::io
+
+namespace appscope::synth {
+/// The streaming persistence sink, aliased where the other sinks live.
+using SnapshotSink = ::appscope::io::SnapshotSink;
+}  // namespace appscope::synth

@@ -1,0 +1,150 @@
+#include "io/snapshot_writer.hpp"
+
+#include <algorithm>
+
+#include "io/binary.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace appscope::io {
+
+namespace {
+
+std::vector<std::byte> encode_table(const std::vector<SectionEntry>& entries) {
+  ByteWriter w;
+  for (const SectionEntry& e : entries) {
+    w.u32(static_cast<std::uint32_t>(e.id));
+    w.u32(static_cast<std::uint32_t>(e.kind));
+    w.u64(e.offset);
+    w.u64(e.payload_bytes);
+    w.u32(e.crc);
+    w.u32(0);  // reserved
+  }
+  for (std::size_t i = entries.size(); i < kMaxSections; ++i) {
+    for (std::size_t b = 0; b < kSectionEntryBytes; ++b) w.u8(0);
+  }
+  return std::move(w).take();
+}
+
+std::vector<std::byte> encode_header(const SnapshotHeader& h) {
+  ByteWriter w;
+  for (const std::uint8_t m : kSnapshotMagic) w.u8(m);
+  w.u32(h.version);
+  w.u64(h.config_hash);
+  w.u64(h.traffic_seed);
+  w.u32(h.services);
+  w.u32(h.communes);
+  w.u32(h.hours);
+  w.u32(h.directions);
+  w.u32(h.urbanization_classes);
+  w.u32(h.section_count);
+  w.u64(h.file_bytes);
+  w.u32(h.table_crc);
+  while (w.size() < kHeaderBytes) w.u8(0);
+  return std::move(w).take();
+}
+
+void write_bytes(std::ofstream& out, std::span<const std::byte> bytes,
+                 const std::string& path) {
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw util::InputError("snapshot: write failed on " + path);
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(const std::string& path, const Dimensions& dims,
+                               std::uint64_t config_hash,
+                               std::uint64_t traffic_seed)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw util::InputError("snapshot: cannot open " + path + " for writing");
+  }
+  header_.config_hash = config_hash;
+  header_.traffic_seed = traffic_seed;
+  header_.services = dims.services;
+  header_.communes = dims.communes;
+  header_.hours = dims.hours;
+  header_.directions = dims.directions;
+  header_.urbanization_classes = dims.urbanization_classes;
+  // Reserve the header + table region with zeros; a zeroed header has no
+  // valid magic, so an unfinished file is unreadable by construction.
+  const std::vector<std::byte> zeros(kPayloadStart, std::byte{0});
+  write_bytes(out_, zeros, path_);
+  cursor_ = kPayloadStart;
+}
+
+void SnapshotWriter::add_section(SectionId id, std::span<const std::byte> payload,
+                                 SectionKind kind) {
+  APPSCOPE_REQUIRE(!finished_, "SnapshotWriter: add_section after finish");
+  APPSCOPE_REQUIRE(entries_.size() < kMaxSections,
+                   "SnapshotWriter: section table full");
+  APPSCOPE_REQUIRE(std::none_of(entries_.begin(), entries_.end(),
+                                [&](const SectionEntry& e) { return e.id == id; }),
+                   "SnapshotWriter: duplicate section id");
+  util::ScopedSpan span("snapshot.write." + std::string(section_name(id)));
+
+  const std::uint64_t aligned = align_up(cursor_, kSectionAlignment);
+  if (aligned > cursor_) {
+    const std::vector<std::byte> pad(aligned - cursor_, std::byte{0});
+    write_bytes(out_, pad, path_);
+    cursor_ = aligned;
+  }
+
+  SectionEntry entry;
+  entry.id = id;
+  entry.kind = kind;
+  entry.offset = cursor_;
+  entry.payload_bytes = payload.size();
+  entry.crc = crc32(payload);
+  entries_.push_back(entry);
+
+  write_bytes(out_, payload, path_);
+  cursor_ += payload.size();
+
+  if (util::MetricsRegistry::enabled()) {
+    auto& metrics = util::MetricsRegistry::global();
+    metrics.add("io.snapshot.sections");
+    metrics.add("io.snapshot.bytes_written", payload.size());
+  }
+}
+
+void SnapshotWriter::add_f64_section(SectionId id, std::span<const double> column) {
+  add_section(id, std::as_bytes(column), SectionKind::kF64);
+}
+
+void SnapshotWriter::add_u64_section(SectionId id,
+                                     std::span<const std::uint64_t> column) {
+  add_section(id, std::as_bytes(column), SectionKind::kU64);
+}
+
+std::uint64_t SnapshotWriter::finish() {
+  APPSCOPE_REQUIRE(!finished_, "SnapshotWriter: finish called twice");
+  finished_ = true;
+
+  header_.section_count = static_cast<std::uint32_t>(entries_.size());
+  header_.file_bytes = cursor_;
+  const std::vector<std::byte> table = encode_table(entries_);
+  header_.table_crc = crc32(table);
+  const std::vector<std::byte> header = encode_header(header_);
+
+  out_.seekp(0);
+  write_bytes(out_, header, path_);
+  out_.seekp(static_cast<std::streamoff>(kHeaderBytes));
+  write_bytes(out_, table, path_);
+  out_.flush();
+  if (!out_) throw util::InputError("snapshot: flush failed on " + path_);
+
+  if (util::MetricsRegistry::enabled()) {
+    // Count the header/table/padding overhead too, so the counter totals
+    // the exact on-disk size of every snapshot written.
+    std::uint64_t payload = 0;
+    for (const SectionEntry& e : entries_) payload += e.payload_bytes;
+    util::MetricsRegistry::global().add("io.snapshot.bytes_written",
+                                        header_.file_bytes - payload);
+  }
+  return header_.file_bytes;
+}
+
+}  // namespace appscope::io

@@ -1,0 +1,64 @@
+// appscope/io/snapshot_writer.hpp
+//
+// Single-pass streaming writer for the "appscope.snapshot/1" format: the
+// fixed-capacity header + section table is reserved up front, payload
+// sections append sequentially at kSectionAlignment boundaries, and
+// finish() seeks back exactly once to fill in the table, checksums and
+// total size. Memory stays O(largest section) — sections are handed in as
+// ready-made byte/column spans, never buffered twice.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/format.hpp"
+
+namespace appscope::io {
+
+class SnapshotWriter {
+ public:
+  /// Dimension block copied into the header; readers cross-check every
+  /// columnar section (and the embedded config) against it.
+  struct Dimensions {
+    std::uint32_t services = 0;
+    std::uint32_t communes = 0;
+    std::uint32_t hours = 0;
+    std::uint32_t directions = 0;
+    std::uint32_t urbanization_classes = 0;
+  };
+
+  /// Opens `path` for writing (truncates). Throws InputError on I/O error.
+  SnapshotWriter(const std::string& path, const Dimensions& dims,
+                 std::uint64_t config_hash, std::uint64_t traffic_seed);
+
+  /// A writer abandoned before finish() leaves a file with a zeroed header
+  /// behind — readers reject it (bad magic), so a crash mid-write can never
+  /// yield a silently-truncated "valid" snapshot.
+  ~SnapshotWriter() = default;
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// Appends one section (aligned, CRC32-summed). Section ids must be
+  /// unique; at most kMaxSections sections fit.
+  void add_section(SectionId id, std::span<const std::byte> payload,
+                   SectionKind kind = SectionKind::kRaw);
+  void add_f64_section(SectionId id, std::span<const double> column);
+  void add_u64_section(SectionId id, std::span<const std::uint64_t> column);
+
+  /// Writes the header + section table and flushes. Returns the total file
+  /// size in bytes. Must be called exactly once.
+  std::uint64_t finish();
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  SnapshotHeader header_;
+  std::vector<SectionEntry> entries_;
+  std::uint64_t cursor_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace appscope::io

@@ -1,5 +1,7 @@
 #include "synth/sinks.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace appscope::synth {
@@ -40,6 +42,31 @@ ts::TimeSeries NationalSeriesSink::time_series(workload::ServiceIndex service,
   return ts::TimeSeries(std::vector<double>(s.begin(), s.end()), label);
 }
 
+std::vector<double> NationalSeriesSink::snapshot_data() const {
+  std::vector<double> flat;
+  flat.reserve(services_ * workload::kDirectionCount * ts::kHoursPerWeek);
+  for (const auto& per_service : data_) {
+    for (const auto& series : per_service) {
+      flat.insert(flat.end(), series.begin(), series.end());
+    }
+  }
+  return flat;
+}
+
+void NationalSeriesSink::restore(std::span<const double> flat) {
+  APPSCOPE_REQUIRE(
+      flat.size() == services_ * workload::kDirectionCount * ts::kHoursPerWeek,
+      "NationalSeriesSink::restore: payload size mismatch");
+  std::size_t pos = 0;
+  for (auto& per_service : data_) {
+    for (auto& series : per_service) {
+      std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(pos),
+                  ts::kHoursPerWeek, series.begin());
+      pos += ts::kHoursPerWeek;
+    }
+  }
+}
+
 // --- CommuneTotalsSink --------------------------------------------------------
 
 CommuneTotalsSink::CommuneTotalsSink(std::size_t service_count,
@@ -75,6 +102,28 @@ std::vector<double> CommuneTotalsSink::commune_vector(
                              plane.begin() + static_cast<std::ptrdiff_t>(base + communes_));
 }
 
+std::vector<double> CommuneTotalsSink::snapshot_data() const {
+  std::vector<double> flat;
+  flat.reserve(workload::kDirectionCount * services_ * communes_);
+  for (const auto& plane : data_) {
+    flat.insert(flat.end(), plane.begin(), plane.end());
+  }
+  return flat;
+}
+
+void CommuneTotalsSink::restore(std::span<const double> flat) {
+  APPSCOPE_REQUIRE(
+      flat.size() == workload::kDirectionCount * services_ * communes_,
+      "CommuneTotalsSink::restore: payload size mismatch");
+  const std::size_t plane_size = services_ * communes_;
+  std::size_t pos = 0;
+  for (auto& plane : data_) {
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(pos), plane_size,
+                plane.begin());
+    pos += plane_size;
+  }
+}
+
 // --- UrbanizationSeriesSink ---------------------------------------------------
 
 UrbanizationSeriesSink::UrbanizationSeriesSink(std::size_t service_count)
@@ -102,12 +151,50 @@ const std::vector<double>& UrbanizationSeriesSink::series(
   return data_[service][static_cast<std::size_t>(u)][dir_index(d)];
 }
 
+std::vector<double> UrbanizationSeriesSink::snapshot_data() const {
+  std::vector<double> flat;
+  flat.reserve(services_ * geo::kUrbanizationCount * workload::kDirectionCount *
+               ts::kHoursPerWeek);
+  for (const auto& per_service : data_) {
+    for (const auto& per_class : per_service) {
+      for (const auto& series : per_class) {
+        flat.insert(flat.end(), series.begin(), series.end());
+      }
+    }
+  }
+  return flat;
+}
+
+void UrbanizationSeriesSink::restore(std::span<const double> flat) {
+  APPSCOPE_REQUIRE(flat.size() == services_ * geo::kUrbanizationCount *
+                                      workload::kDirectionCount *
+                                      ts::kHoursPerWeek,
+                   "UrbanizationSeriesSink::restore: payload size mismatch");
+  std::size_t pos = 0;
+  for (auto& per_service : data_) {
+    for (auto& per_class : per_service) {
+      for (auto& series : per_class) {
+        std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(pos),
+                    ts::kHoursPerWeek, series.begin());
+        pos += ts::kHoursPerWeek;
+      }
+    }
+  }
+}
+
 // --- TotalsSink ------------------------------------------------------------------
 
 void TotalsSink::consume(const TrafficCell& cell) {
   downlink_ += cell.downlink_bytes;
   uplink_ += cell.uplink_bytes;
   ++cells_;
+}
+
+void TotalsSink::restore(double downlink, double uplink,
+                         std::uint64_t cells) noexcept {
+  downlink_ = downlink;
+  uplink_ = uplink;
+  cells_ = cells;
 }
 
 // --- BufferSink ------------------------------------------------------------------

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "geo/commune.hpp"
@@ -46,6 +48,12 @@ class NationalSeriesSink final : public TrafficSink {
                              workload::Direction d,
                              const std::string& label = {}) const;
 
+  /// Snapshot support: flat copy of every series, [service][direction][hour].
+  std::vector<double> snapshot_data() const;
+  /// Restores the sink from a snapshot_data() payload; the element count
+  /// must match this sink's dimensions (PreconditionError otherwise).
+  void restore(std::span<const double> flat);
+
  private:
   std::size_t services_;
   /// [service][direction] -> 168 hourly sums.
@@ -67,6 +75,10 @@ class CommuneTotalsSink final : public TrafficSink {
 
   std::size_t commune_count() const noexcept { return communes_; }
 
+  /// Snapshot support: flat copy, [direction][service * communes + commune].
+  std::vector<double> snapshot_data() const;
+  void restore(std::span<const double> flat);
+
  private:
   std::size_t services_;
   std::size_t communes_;
@@ -83,6 +95,10 @@ class UrbanizationSeriesSink final : public TrafficSink {
   const std::vector<double>& series(workload::ServiceIndex service,
                                     geo::Urbanization u,
                                     workload::Direction d) const;
+
+  /// Snapshot support: flat copy, [service][class][direction][hour].
+  std::vector<double> snapshot_data() const;
+  void restore(std::span<const double> flat);
 
  private:
   std::size_t services_;
@@ -102,6 +118,9 @@ class TotalsSink final : public TrafficSink {
   double uplink() const noexcept { return uplink_; }
   double total() const noexcept { return downlink_ + uplink_; }
   std::uint64_t cells_consumed() const noexcept { return cells_; }
+
+  /// Snapshot support: restores the running totals verbatim.
+  void restore(double downlink, double uplink, std::uint64_t cells) noexcept;
 
  private:
   double downlink_ = 0.0;

@@ -49,6 +49,13 @@ std::string format_double(double value, int digits) {
   return std::string(buf.data(), static_cast<std::size_t>(written));
 }
 
+std::string format_double_roundtrip(double value) {
+  std::array<char, 64> buf{};
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  APPSCOPE_CHECK(ec == std::errc{}, "format_double_roundtrip: buffer too small");
+  return std::string(buf.data(), static_cast<std::size_t>(ptr - buf.data()));
+}
+
 std::string format_percent(double fraction, int digits) {
   return format_double(fraction * 100.0, digits) + "%";
 }

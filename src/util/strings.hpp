@@ -25,6 +25,12 @@ std::string to_lower(std::string_view text);
 /// Formats a double with `digits` significant decimal places ("3.14").
 std::string format_double(double value, int digits = 3);
 
+/// Shortest decimal representation that parses back to exactly `value`
+/// (std::to_chars round-trip guarantee; at most max_digits10 = 17
+/// significant digits). Use for data files that must survive a
+/// write -> parse cycle without precision loss.
+std::string format_double_roundtrip(double value);
+
 /// Formats a fraction as a percentage string ("46.2%").
 std::string format_percent(double fraction, int digits = 1);
 

@@ -28,6 +28,11 @@ SubscriberBase::SubscriberBase(const geo::Territory& territory,
   }
 }
 
+SubscriberBase::SubscriberBase(std::vector<std::uint32_t> counts)
+    : subscribers_(std::move(counts)) {
+  APPSCOPE_REQUIRE(!subscribers_.empty(), "SubscriberBase: empty counts");
+}
+
 std::uint32_t SubscriberBase::subscribers(geo::CommuneId commune) const {
   APPSCOPE_REQUIRE(commune < subscribers_.size(),
                    "SubscriberBase: commune out of range");

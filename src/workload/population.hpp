@@ -24,6 +24,8 @@ struct PopulationConfig {
 class SubscriberBase {
  public:
   SubscriberBase(const geo::Territory& territory, const PopulationConfig& config);
+  /// Restores a base from per-commune counts (snapshot load path).
+  explicit SubscriberBase(std::vector<std::uint32_t> counts);
 
   std::size_t commune_count() const noexcept { return subscribers_.size(); }
   std::uint32_t subscribers(geo::CommuneId commune) const;

@@ -46,19 +46,33 @@ TEST(DatasetIo, CommuneTotalsRoundTrip) {
   const auto rows = read_commune_totals_csv(out.str());
   ASSERT_EQ(rows.size(), 20u * 2u * dataset().commune_count());
 
-  // Check one specific entry against the dataset.
+  // Check one specific entry against the dataset. Values are written with
+  // std::to_chars round-trip formatting, so the parse must recover the
+  // dataset's doubles exactly — not merely within rounding tolerance.
   const auto yt = *dataset().catalog().find("YouTube");
   const auto totals =
       dataset().commune_totals(yt, workload::Direction::kDownlink);
+  const auto per_user =
+      dataset().per_user_commune_vector(yt, workload::Direction::kDownlink);
   bool found = false;
   for (const auto& row : rows) {
     if (row.service == "YouTube" &&
         row.direction == workload::Direction::kDownlink && row.commune == 3) {
-      EXPECT_NEAR(row.bytes, totals[3], 0.5 + 1e-6 * totals[3]);
+      EXPECT_EQ(row.bytes, totals[3]);
+      EXPECT_EQ(row.bytes_per_user, per_user[3]);
       found = true;
     }
   }
   EXPECT_TRUE(found);
+
+  // And the whole table: every written value survives the CSV round trip
+  // bitwise (the old fixed-precision writer lost everything past the first
+  // decimal).
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.bytes,
+              dataset().commune_total(*dataset().catalog().find(row.service),
+                                      row.commune, row.direction));
+  }
 }
 
 TEST(DatasetIo, ReadRejectsMalformedDocuments) {

@@ -93,5 +93,18 @@ TEST(ParseInt, RejectsMalformedInput) {
   EXPECT_THROW(parse_int("x"), InputError);
 }
 
+TEST(FormatDoubleRoundtrip, ParsesBackExactly) {
+  const double values[] = {0.0,    -0.0,       0.1,           1.0 / 3.0,
+                           1e300,  1e-300,     12345678.9012, -2.5e-7,
+                           168.25, 9876543210.123456789};
+  for (const double v : values) {
+    EXPECT_EQ(parse_double(format_double_roundtrip(v)), v)
+        << format_double_roundtrip(v);
+  }
+  // Shortest form, not 17 digits of noise.
+  EXPECT_EQ(format_double_roundtrip(0.1), "0.1");
+  EXPECT_EQ(format_double_roundtrip(42.0), "42");
+}
+
 }  // namespace
 }  // namespace appscope::util

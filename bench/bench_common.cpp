@@ -9,6 +9,7 @@
 #include "util/json.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace appscope::bench {
 
@@ -21,13 +22,23 @@ std::string scale_name(int argc, char** argv) {
   if (const char* env = std::getenv("APPSCOPE_SCALE")) return env;
   return "example";
 }
+
+std::string trace_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (util::starts_with(arg, "--trace=")) return arg.substr(8);
+  }
+  return "";
+}
 }  // namespace
 
 synth::ScenarioConfig select_scenario(int argc, char** argv) {
   // Every bench binary passes through here first, so this is where the
   // APPSCOPE_METRICS=1 contract is anchored: metrics.json is written at
-  // process exit when metrics are enabled.
+  // process exit when metrics are enabled. Likewise --trace=PATH (or
+  // APPSCOPE_TRACE=PATH) leaves a Chrome trace-event document behind.
   util::write_metrics_at_exit();
+  util::enable_trace_export(trace_flag(argc, argv));
   const std::string name = scale_name(argc, argv);
   if (name == "test") return synth::ScenarioConfig::test_scale();
   if (name == "paper") return synth::ScenarioConfig::paper_scale();

@@ -24,6 +24,7 @@
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -351,6 +352,44 @@ void BM_SnapshotLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Tracing overhead (see "Structured tracing" in DESIGN.md). The disabled
+// path is the acceptance benchmark of the zero-cost contract: a ScopedSpan
+// constructed while metrics are off must not allocate or read a clock, so
+// its cost is one predicted branch (~1 ns). The enabled variant measures
+// the full record path (two clock reads + per-thread shard append).
+void BM_ScopedSpanDisabled(benchmark::State& state) {
+  const bool was_enabled = util::MetricsRegistry::enabled();
+  util::MetricsRegistry::set_enabled(false);
+  for (auto _ : state) {
+    const util::ScopedSpan span("bench.span.disabled");
+    benchmark::DoNotOptimize(span.span_id());
+  }
+  util::MetricsRegistry::set_enabled(was_enabled);
+}
+BENCHMARK(BM_ScopedSpanDisabled);
+
+void BM_ScopedSpanEnabled(benchmark::State& state) {
+  const bool was_enabled = util::MetricsRegistry::enabled();
+  util::MetricsRegistry::set_enabled(true);
+  util::TraceRecorder::global().reset();
+  std::size_t recorded = 0;
+  for (auto _ : state) {
+    // Stay well under the per-thread buffer cap so no iteration hits the
+    // (cheaper) dropping path; the reset outside the timer is not measured.
+    if (++recorded >= util::TraceRecorder::kMaxEventsPerThread / 2) {
+      state.PauseTiming();
+      util::TraceRecorder::global().reset();
+      recorded = 0;
+      state.ResumeTiming();
+    }
+    const util::ScopedSpan span("bench.span.enabled");
+    benchmark::DoNotOptimize(span.span_id());
+  }
+  util::TraceRecorder::global().reset();
+  util::MetricsRegistry::set_enabled(was_enabled);
+}
+BENCHMARK(BM_ScopedSpanEnabled);
+
 // Console reporter that also collects per-benchmark real time (normalized
 // to nanoseconds, independent of each benchmark's display unit) for the
 // BENCH_core.json baseline.
@@ -385,6 +424,9 @@ class BaselineReporter final : public benchmark::ConsoleReporter {
 // against it (scripts/bench_regression.py).
 int main(int argc, char** argv) {
   appscope::util::write_metrics_at_exit();
+  // google-benchmark rejects unknown flags, so the trace export here is
+  // driven by APPSCOPE_TRACE=<path> only (no --trace= alias).
+  appscope::util::enable_trace_export();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   BaselineReporter reporter;

@@ -6,6 +6,7 @@
 //       ./paper_report --scale=example
 //       ./paper_report --out=report.md --csv-dir=figures_csv
 //       ./paper_report --snapshot=dataset.snap   (load-or-generate cache)
+//       ./paper_report --trace=trace.json        (Chrome trace + summary)
 #include <fstream>
 #include <iostream>
 
@@ -13,6 +14,8 @@
 #include "core/report.hpp"
 #include "util/cli.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
+#include "util/trace_analysis.hpp"
 
 using namespace appscope;
 
@@ -21,6 +24,12 @@ int main(int argc, char** argv) {
   // APPSCOPE_METRICS=1 exports the per-stage timings of the run to
   // metrics.json (or APPSCOPE_METRICS_PATH) when the process exits.
   util::write_metrics_at_exit();
+  // --trace=PATH (or APPSCOPE_TRACE=PATH) exports the span DAG of the run
+  // as a Chrome trace-event document at exit and prints the per-span
+  // summary + critical path to stderr after the study finishes. The report
+  // on stdout is byte-identical with tracing on or off.
+  const std::string trace_path =
+      util::enable_trace_export(args.get_string("trace", ""));
 
   synth::ScenarioConfig config = synth::ScenarioConfig::test_scale();
   const std::string scale = args.get_string("scale", "test");
@@ -47,6 +56,14 @@ int main(int argc, char** argv) {
   std::cerr << "running the study (clustering sweep up to k="
             << study_options.cluster.k_max << ")...\n";
   const core::StudyReport report = core::run_study(dataset, study_options);
+
+  if (!trace_path.empty()) {
+    const util::TraceRecorder& recorder = util::TraceRecorder::global();
+    util::print_trace_summary(
+        util::summarize_trace(recorder.snapshot(), "core.run_study"),
+        std::cerr);
+    std::cerr << "trace will be written to " << trace_path << " on exit\n";
+  }
 
   core::ReportOptions report_options;
   report_options.title = "Not All Apps Are Created Equal — reproduction report";

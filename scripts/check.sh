@@ -7,6 +7,10 @@
 #              (also enabled by APPSCOPE_TSAN=1)
 #   --metrics  run an instrumented bench and assert metrics.json is
 #              produced and well-formed (also enabled by APPSCOPE_METRICS_CHECK=1)
+#   --trace    run paper_report with --trace, assert the Chrome trace
+#              validates (scripts/trace_summary.py), the critical path covers
+#              >=90% of the run, and the report is byte-identical to an
+#              untraced run (also enabled by APPSCOPE_TRACE_CHECK=1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,11 +18,13 @@ BUILD_DIR="${BUILD_DIR:-build-check}"
 
 RUN_TSAN="${APPSCOPE_TSAN:-0}"
 RUN_METRICS="${APPSCOPE_METRICS_CHECK:-0}"
+RUN_TRACE="${APPSCOPE_TRACE_CHECK:-0}"
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
     --metrics) RUN_METRICS=1 ;;
-    *) echo "usage: $0 [--tsan] [--metrics]" >&2; exit 2 ;;
+    --trace) RUN_TRACE=1 ;;
+    *) echo "usage: $0 [--tsan] [--metrics] [--trace]" >&2; exit 2 ;;
   esac
 done
 
@@ -80,6 +86,36 @@ PY
     grep -q '"schema": "appscope.metrics/1"' "$METRICS_FILE"
     grep -q '"stage\.' "$METRICS_FILE"
     echo "metrics OK (grep validation; python3 unavailable)"
+  fi
+fi
+
+# Tracing check (--trace): run paper_report twice — once with --trace, once
+# plain — assert the reports are byte-identical (observation must not
+# perturb the analysis), then validate the Chrome trace document and its
+# critical-path coverage with scripts/trace_summary.py.
+if [ "$RUN_TRACE" != "0" ]; then
+  echo "==== trace export validation"
+  TRACE_FILE="$BUILD_DIR/trace-check.json"
+  rm -f "$TRACE_FILE"
+  "$BUILD_DIR"/examples/paper_report --scale=test \
+    --trace="$TRACE_FILE" > "$BUILD_DIR/report-traced.md" 2> /dev/null
+  "$BUILD_DIR"/examples/paper_report --scale=test \
+    > "$BUILD_DIR/report-plain.md" 2> /dev/null
+  if ! cmp -s "$BUILD_DIR/report-traced.md" "$BUILD_DIR/report-plain.md"; then
+    echo "FAIL: report differs with tracing enabled" >&2
+    exit 1
+  fi
+  if [ ! -s "$TRACE_FILE" ]; then
+    echo "FAIL: $TRACE_FILE was not written" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    python3 scripts/trace_summary.py "$TRACE_FILE" \
+      --root core.run_study --min-coverage 0.9
+  else
+    grep -q '"schema": "appscope.trace/1"' "$TRACE_FILE"
+    grep -q '"core.run_study"' "$TRACE_FILE"
+    echo "trace OK (grep validation; python3 unavailable)"
   fi
 fi
 

@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Validate and summarize an appscope Chrome trace (schema appscope.trace/1).
+
+Usage:
+  trace_summary.py TRACE.json [--root NAME] [--top N] [--min-coverage F]
+
+Validates the document produced by util::write_trace_json (schema marker,
+complete-event records, span-id uniqueness, parent resolution — dropped
+events excuse unresolved parents), then prints the top spans by self time
+and the critical path of the run, using the same backwards gap-attribution
+walk as util::summarize_trace: from the root span's end, descend into the
+child that finishes last and attribute uncovered gaps to the parent.
+
+Exit status: 0 on success, 1 on any validation failure or when the critical
+path attributes less than --min-coverage of the root's wall time.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"trace_summary: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(doc):
+    if doc.get("schema") != "appscope.trace/1":
+        fail(f"schema is {doc.get('schema')!r}, expected 'appscope.trace/1'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents missing or not a list")
+    dropped = doc.get("dropped_events", 0)
+    if not isinstance(dropped, int) or dropped < 0:
+        fail(f"dropped_events malformed: {dropped!r}")
+
+    spans = []
+    ids = set()
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "ts", "dur", "pid", "tid", "args"):
+            if key not in event:
+                fail(f"event {i} missing key {key!r}")
+        if event["ph"] != "X":
+            fail(f"event {i} has phase {event['ph']!r}, expected complete 'X'")
+        args = event["args"]
+        for key in ("span_id", "parent_id", "depth"):
+            if key not in args:
+                fail(f"event {i} args missing key {key!r}")
+        if args["span_id"] in ids:
+            fail(f"duplicate span_id {args['span_id']}")
+        if args["span_id"] == 0:
+            fail(f"event {i} has span_id 0")
+        if event["dur"] < 0 or event["ts"] < 0:
+            fail(f"event {i} has negative ts/dur")
+        ids.add(args["span_id"])
+        spans.append(event)
+
+    unresolved = sum(
+        1
+        for e in spans
+        if e["args"]["parent_id"] != 0 and e["args"]["parent_id"] not in ids
+    )
+    if unresolved and dropped == 0:
+        fail(f"{unresolved} parent ids do not resolve and no events were dropped")
+    return spans, dropped, unresolved
+
+
+def span_end(event):
+    return event["ts"] + event["dur"]
+
+
+def build_children(spans):
+    index = {e["args"]["span_id"]: e for e in spans}
+    children = {e["args"]["span_id"]: [] for e in spans}
+    for e in spans:
+        parent = e["args"]["parent_id"]
+        if parent in index and parent != e["args"]["span_id"]:
+            children[parent].append(e)
+    return index, children
+
+
+def self_times(spans, children):
+    """Per-name aggregates; self time excludes the union of child intervals."""
+    stats = {}
+    for e in spans:
+        lo, hi = e["ts"], span_end(e)
+        intervals = sorted(
+            (max(c["ts"], lo), min(span_end(c), hi))
+            for c in children[e["args"]["span_id"]]
+        )
+        covered, cur_lo, cur_hi = 0.0, None, None
+        for s, t in intervals:
+            if t <= s:
+                continue
+            if cur_hi is None or s > cur_hi:
+                if cur_hi is not None:
+                    covered += cur_hi - cur_lo
+                cur_lo, cur_hi = s, t
+            else:
+                cur_hi = max(cur_hi, t)
+        if cur_hi is not None:
+            covered += cur_hi - cur_lo
+        entry = stats.setdefault(e["name"], {"count": 0, "total": 0.0, "self": 0.0})
+        entry["count"] += 1
+        entry["total"] += e["dur"]
+        entry["self"] += e["dur"] - min(covered, e["dur"])
+    return stats
+
+
+def pick_root(spans, root_name):
+    if root_name:
+        candidates = [e for e in spans if e["name"] == root_name]
+        if not candidates:
+            fail(f"no span named {root_name!r} in the trace")
+    else:
+        ids = {e["args"]["span_id"] for e in spans}
+        candidates = [
+            e
+            for e in spans
+            if e["args"]["parent_id"] == 0 or e["args"]["parent_id"] not in ids
+        ]
+        if not candidates:
+            fail("no root span found")
+    return max(candidates, key=lambda e: e["dur"])
+
+
+def critical_path(root, children):
+    """Backwards walk: descend into the last-finishing child, attribute
+    uncovered gaps to the parent. Iterative (explicit stack) so deep span
+    chains cannot hit the recursion limit. Returns {name: (count, time)}."""
+    path = {}
+
+    def attribute(name, amount=0.0, visit=False):
+        count, total = path.get(name, (0, 0.0))
+        path[name] = (count + (1 if visit else 0), total + amount)
+
+    stack = [root]
+    while stack:
+        span = stack.pop()
+        attribute(span["name"], visit=True)
+        lo = span["ts"]
+        end = span_end(span)
+        kids = sorted(
+            children[span["args"]["span_id"]],
+            key=lambda c: min(span_end(c), end),
+        )
+        t = end
+        for child in reversed(kids):
+            c_end = min(span_end(child), end)
+            c_start = max(child["ts"], lo)
+            if c_end > t:  # overlapped by an already-walked sibling
+                continue
+            if c_end <= lo or c_start >= c_end:
+                continue
+            attribute(span["name"], t - c_end)
+            stack.append(child)
+            t = c_start
+            if t <= lo:
+                break
+        if t > lo:
+            attribute(span["name"], t - lo)
+    return path
+
+
+def render_table(rows, headers):
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    print("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="path to the Chrome trace JSON")
+    parser.add_argument("--root", default="", help="critical-path root span name")
+    parser.add_argument("--top", type=int, default=15, help="rows in the span table")
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=0.0,
+        help="fail unless the critical path attributes at least this "
+        "fraction of the root's wall time (e.g. 0.9)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(str(err))
+
+    spans, dropped, unresolved = validate(doc)
+    print(
+        f"trace OK: {len(spans)} spans, {dropped} dropped, "
+        f"{unresolved} unresolved parents"
+    )
+    if not spans:
+        if args.min_coverage > 0:
+            fail("empty trace cannot satisfy --min-coverage")
+        return
+
+    _, children = build_children(spans)
+    stats = self_times(spans, children)
+    ranked = sorted(stats.items(), key=lambda kv: (-kv[1]["self"], kv[0]))
+    print()
+    render_table(
+        [
+            [name, str(s["count"]), f"{s['total'] / 1000.0:.3f}", f"{s['self'] / 1000.0:.3f}"]
+            for name, s in ranked[: args.top]
+        ],
+        ["span", "count", "total ms", "self ms"],
+    )
+
+    root = pick_root(spans, args.root)
+    path = critical_path(root, children)
+    attributed = sum(t for _, t in path.values())
+    coverage = attributed / root["dur"] if root["dur"] > 0 else 0.0
+    print(
+        f"\ncritical path of '{root['name']}' "
+        f"({root['dur'] / 1000.0:.3f} ms wall, {100.0 * coverage:.1f}% attributed)"
+    )
+    render_table(
+        [
+            [name, str(count), f"{t / 1000.0:.3f}",
+             f"{100.0 * t / attributed:.1f}%" if attributed > 0 else "0.0%"]
+            for name, (count, t) in sorted(
+                path.items(), key=lambda kv: (-kv[1][1], kv[0])
+            )
+        ],
+        ["span", "count", "path ms", "share"],
+    )
+    if coverage < args.min_coverage:
+        fail(
+            f"critical path covers {coverage:.3f} of the root's wall time, "
+            f"below the required {args.min_coverage}"
+        )
+
+
+if __name__ == "__main__":
+    main()

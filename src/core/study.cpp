@@ -1,5 +1,7 @@
 #include "core/study.hpp"
 
+#include <optional>
+
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
@@ -32,7 +34,10 @@ StudyReport run_study(const TrafficDataset& dataset, const StudyOptions& options
   if (options.metrics) {
     util::MetricsRegistry::set_enabled(true);
   }
-  const util::ScopedSpan span("core.run_study");
+  // Held in an optional so it can be closed before the trace export below;
+  // an open span would otherwise be invisible to the critical-path pass.
+  std::optional<util::ScopedSpan> span;
+  span.emplace("core.run_study");
   util::StageTimer timer("core.run_study");
   const auto svc_a = resolve(dataset, options.map_service_a);
   const auto svc_b = resolve(dataset, options.map_service_b);
@@ -119,9 +124,16 @@ StudyReport run_study(const TrafficDataset& dataset, const StudyOptions& options
                         }),
   };
 
-  if (util::MetricsRegistry::enabled() && !options.metrics_path.empty()) {
-    timer.stop();  // close the study-wide timer so it appears in the export
-    util::write_metrics_json(options.metrics_path);
+  if (util::MetricsRegistry::enabled() &&
+      (!options.metrics_path.empty() || !options.trace_path.empty())) {
+    timer.stop();   // close the study-wide timer so it appears in the export
+    span.reset();   // close the study-wide span so it appears in the trace
+    if (!options.metrics_path.empty()) {
+      util::write_metrics_json(options.metrics_path);
+    }
+    if (!options.trace_path.empty()) {
+      util::write_trace_json(options.trace_path);
+    }
   }
   return report;
 }

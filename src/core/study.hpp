@@ -38,6 +38,11 @@ struct StudyOptions {
   /// When non-empty (and metrics are enabled), run_study writes the
   /// machine-readable metrics document here after the analyses finish.
   std::string metrics_path;
+  /// When non-empty (and metrics are enabled), run_study writes the Chrome
+  /// trace-event document (schema appscope.trace/1, loadable in
+  /// chrome://tracing / Perfetto) here after the analyses finish. Tracing
+  /// is pure observation: the report is bitwise identical either way.
+  std::string trace_path;
 };
 
 struct StudyReport {

@@ -11,6 +11,7 @@
 
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/mem_stats.hpp"
 #include "util/trace.hpp"
 
 namespace appscope::util {
@@ -381,11 +382,30 @@ void write_metrics_json(const std::string& path) {
   for (const TraceEvent& event : recorder.snapshot()) {
     Json::Object span;
     span.emplace("name", Json(event.name));
+    span.emplace("span_id", Json(event.span_id));
+    span.emplace("parent_id", Json(event.parent_id));
     span.emplace("thread", Json(static_cast<std::uint64_t>(event.thread)));
     span.emplace("depth", Json(static_cast<std::uint64_t>(event.depth)));
     span.emplace("start_ns", Json(event.start_ns));
     span.emplace("duration_ns", Json(event.duration_ns));
+    if (event.alloc_count > 0) span.emplace("alloc_count", Json(event.alloc_count));
+    if (event.alloc_bytes > 0) span.emplace("alloc_bytes", Json(event.alloc_bytes));
+    if (event.rss_peak_bytes > 0) {
+      span.emplace("rss_peak_bytes", Json(event.rss_peak_bytes));
+    }
     spans.emplace_back(std::move(span));
+  }
+  // The per-thread buffer cap must never be silent: the dropped count rides
+  // along as a first-class counter (and the legacy top-level key).
+  Json::Object& counters = doc.as_object()["counters"].as_object();
+  counters["trace.dropped_events"] = Json(recorder.dropped_events());
+  if (mem_trace_compiled()) {
+    const MemCounters mem = process_mem_counters();
+    counters["mem.alloc_count"] = Json(mem.alloc_count);
+    counters["mem.alloc_bytes"] = Json(mem.alloc_bytes);
+  }
+  if (const std::uint64_t peak = peak_rss_bytes(); peak > 0) {
+    doc.as_object()["gauges"].as_object()["mem.peak_rss_bytes"] = Json(peak);
   }
   doc.as_object().emplace("spans", Json(std::move(spans)));
   doc.as_object().emplace("spans_dropped", Json(recorder.dropped_events()));

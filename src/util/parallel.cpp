@@ -5,10 +5,12 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <limits>
+#include <optional>
 #include <string>
 #include <thread>
 
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace appscope::util {
 
@@ -27,8 +29,12 @@ struct ThreadPool::Batch {
   std::exception_ptr error;
   std::size_t error_index = std::numeric_limits<std::size_t>::max();
   /// Observability (sampled only when metrics are enabled at submit time):
-  /// summed per-participant busy nanoseconds, for batch utilization.
+  /// summed per-participant busy nanoseconds, for batch utilization, plus
+  /// the submitting thread's span context — workers restore it so their
+  /// "pool.task" spans (and any spans the tasks open) parent to the
+  /// submitting "pool.batch" span instead of being orphaned roots.
   bool metrics = false;
+  SpanContext span_ctx;
   std::atomic<std::uint64_t> busy_ns{0};
 };
 
@@ -68,10 +74,16 @@ class ThreadPool::Impl {
     }
 
     const std::lock_guard<std::mutex> admin(run_mutex_);
+    // The batch span covers dispatch, the caller's own task work, and the
+    // drain wait; every participant's "pool.task" span nests under it via
+    // the captured context.
+    std::optional<ScopedSpan> batch_span;
+    if (metrics) batch_span.emplace("pool.batch");
     Batch batch;
     batch.task = &task;
     batch.count = count;
     batch.metrics = metrics;
+    batch.span_ctx = current_span_context();
     const auto t0 = metrics ? std::chrono::steady_clock::now()
                             : std::chrono::steady_clock::time_point{};
     {
@@ -81,7 +93,14 @@ class ThreadPool::Impl {
     }
     work_available_.notify_all();
 
-    work_on(batch);  // the calling thread participates
+    // The calling thread participates. It is flagged like a worker while it
+    // does: a task that submits another batch to this pool would otherwise
+    // self-deadlock on run_mutex_ — nested batches run inline instead,
+    // exactly as they do on pool workers.
+    const bool was_inside = t_inside_pool_worker;
+    t_inside_pool_worker = true;
+    work_on(batch);
+    t_inside_pool_worker = was_inside;
 
     std::unique_lock<std::mutex> lock(mutex_);
     current_ = nullptr;  // late workers must not enter the drained batch
@@ -132,12 +151,22 @@ class ThreadPool::Impl {
   }
 
   void work_on(Batch& batch) {
+    // Claim the first task before opening any span so participants that
+    // arrive after the batch drained record nothing.
+    std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return;
+    // Restore the submitting thread's span context (no-op on the caller)
+    // and cover this participant's share of the batch with one task span.
+    std::optional<SpanContextScope> ctx;
+    std::optional<ScopedSpan> task_span;
+    if (batch.metrics) {
+      ctx.emplace(batch.span_ctx);
+      task_span.emplace("pool.task");
+    }
     const auto t0 = batch.metrics ? std::chrono::steady_clock::now()
                                   : std::chrono::steady_clock::time_point{};
     std::size_t executed = 0;
     for (;;) {
-      const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= batch.count) break;
       ++executed;
       try {
         (*batch.task)(i);
@@ -148,6 +177,8 @@ class ThreadPool::Impl {
           batch.error = std::current_exception();
         }
       }
+      i = batch.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch.count) break;
     }
     if (batch.metrics && executed > 0) {
       const auto busy = std::chrono::steady_clock::now() - t0;

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
+#include <fstream>
 #include <tuple>
 
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/mem_stats.hpp"
 #include "util/metrics.hpp"
 
 namespace appscope::util {
@@ -12,6 +18,11 @@ namespace appscope::util {
 namespace {
 
 std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_span_id() {
   static std::atomic<std::uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }
@@ -25,11 +36,23 @@ struct ShardRef {
 };
 thread_local std::vector<ShardRef> t_trace_shards;
 
-/// Per-thread span nesting depth (ScopedSpan construction/destruction is
-/// strictly stack-ordered per thread).
-thread_local std::uint32_t t_span_depth = 0;
+/// The thread's position in the span DAG (ScopedSpan and SpanContextScope
+/// save/restore it in strict stack order per thread).
+thread_local SpanContext t_span_ctx;
+
+/// One-time stderr warning when any per-thread buffer first overflows.
+std::atomic<bool> g_drop_warned{false};
 
 }  // namespace
+
+SpanContext current_span_context() noexcept { return t_span_ctx; }
+
+SpanContextScope::SpanContextScope(SpanContext ctx) noexcept
+    : saved_(t_span_ctx) {
+  t_span_ctx = ctx;
+}
+
+SpanContextScope::~SpanContextScope() { t_span_ctx = saved_; }
 
 struct TraceRecorder::Shard {
   std::mutex mutex;  // guards events/dropped against concurrent snapshot
@@ -62,20 +85,21 @@ TraceRecorder::Shard& TraceRecorder::local_shard() {
   return *shard;
 }
 
-void TraceRecorder::record(std::string name, std::uint64_t start_ns,
-                           std::uint64_t duration_ns, std::uint32_t depth) {
+void TraceRecorder::record(TraceEvent event) {
   Shard& shard = local_shard();
   const std::lock_guard<std::mutex> lock(shard.mutex);
   if (shard.events.size() >= kMaxEventsPerThread) {
     ++shard.dropped;
+    if (!g_drop_warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "appscope: trace buffer cap (%zu events/thread) hit; "
+                   "further spans are dropped and counted in "
+                   "trace.dropped_events\n",
+                   kMaxEventsPerThread);
+    }
     return;
   }
-  TraceEvent event;
-  event.name = std::move(name);
   event.thread = shard.thread_index;
-  event.depth = depth;
-  event.start_ns = start_ns;
-  event.duration_ns = duration_ns;
   shard.events.push_back(std::move(event));
 }
 
@@ -88,8 +112,8 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
   }
   std::sort(out.begin(), out.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
-              return std::tie(a.start_ns, a.thread, a.depth) <
-                     std::tie(b.start_ns, b.thread, b.depth);
+              return std::tie(a.start_ns, a.thread, a.span_id) <
+                     std::tie(b.start_ns, b.thread, b.span_id);
             });
   return out;
 }
@@ -120,19 +144,131 @@ TraceRecorder& TraceRecorder::global() {
   return *recorder;
 }
 
-ScopedSpan::ScopedSpan(std::string name)
-    : active_(MetricsRegistry::enabled()), name_(std::move(name)) {
-  if (!active_) return;
-  depth_ = t_span_depth++;
+ScopedSpan::ScopedSpan(std::string_view name)
+    : active_(MetricsRegistry::enabled()) {
+  if (!active_) return;  // zero-allocation, no clock stamp
+  name_.assign(name);
+  saved_ = t_span_ctx;
+  span_id_ = next_span_id();
+  parent_id_ = saved_.span_id;
+  depth_ = saved_.depth;
+  t_span_ctx = {span_id_, depth_ + 1};
+  mem_ = mem_sampling_enabled();
+  if (mem_) {
+    const MemCounters mem = thread_mem_counters();
+    alloc_count0_ = mem.alloc_count;
+    alloc_bytes0_ = mem.alloc_bytes;
+  }
   start_ns_ = TraceRecorder::global().now_ns();
 }
 
 ScopedSpan::~ScopedSpan() {
   if (!active_) return;
-  --t_span_depth;
   const std::uint64_t end_ns = TraceRecorder::global().now_ns();
-  TraceRecorder::global().record(std::move(name_), start_ns_,
-                                 end_ns - start_ns_, depth_);
+  TraceEvent event;
+  if (mem_) {
+    const MemCounters mem = thread_mem_counters();
+    event.alloc_count = mem.alloc_count - alloc_count0_;
+    event.alloc_bytes = mem.alloc_bytes - alloc_bytes0_;
+    event.rss_peak_bytes = peak_rss_bytes();
+  }
+  event.name = std::move(name_);
+  event.span_id = span_id_;
+  event.parent_id = parent_id_;
+  event.depth = depth_;
+  event.start_ns = start_ns_;
+  event.duration_ns = end_ns - start_ns_;
+  t_span_ctx = saved_;
+  TraceRecorder::global().record(std::move(event));
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+
+Json trace_to_chrome_json(const std::vector<TraceEvent>& events,
+                          std::uint64_t dropped_events) {
+  Json::Array trace_events;
+  trace_events.reserve(events.size());
+  for (const TraceEvent& event : events) {
+    Json::Object args;
+    args.emplace("span_id", Json(event.span_id));
+    args.emplace("parent_id", Json(event.parent_id));
+    args.emplace("depth", Json(static_cast<std::uint64_t>(event.depth)));
+    if (event.alloc_count > 0) args.emplace("alloc_count", Json(event.alloc_count));
+    if (event.alloc_bytes > 0) args.emplace("alloc_bytes", Json(event.alloc_bytes));
+    if (event.rss_peak_bytes > 0) {
+      args.emplace("rss_peak_bytes", Json(event.rss_peak_bytes));
+    }
+    Json::Object entry;
+    entry.emplace("name", Json(event.name));
+    entry.emplace("cat", Json("appscope"));
+    entry.emplace("ph", Json("X"));
+    entry.emplace("pid", Json(std::uint64_t{0}));
+    entry.emplace("tid", Json(static_cast<std::uint64_t>(event.thread)));
+    // Chrome timestamps are microseconds; keep nanosecond resolution via a
+    // fractional part (dumps byte-stably through std::to_chars).
+    entry.emplace("ts", Json(static_cast<double>(event.start_ns) / 1000.0));
+    entry.emplace("dur", Json(static_cast<double>(event.duration_ns) / 1000.0));
+    entry.emplace("args", Json(std::move(args)));
+    trace_events.emplace_back(std::move(entry));
+  }
+  Json::Object doc;
+  doc.emplace("schema", Json("appscope.trace/1"));
+  doc.emplace("displayTimeUnit", Json("ms"));
+  doc.emplace("traceEvents", Json(std::move(trace_events)));
+  doc.emplace("dropped_events", Json(dropped_events));
+  return Json(std::move(doc));
+}
+
+void write_trace_json(const std::string& path) {
+  const TraceRecorder& recorder = TraceRecorder::global();
+  const Json doc =
+      trace_to_chrome_json(recorder.snapshot(), recorder.dropped_events());
+  std::ofstream file(path);
+  APPSCOPE_REQUIRE(file.good(),
+                   "write_trace_json: cannot open for writing: " + path);
+  file << doc.dump(2) << '\n';
+  file.close();
+  APPSCOPE_REQUIRE(file.good(), "write_trace_json: write failed: " + path);
+}
+
+std::string trace_output_path(const std::string& flag_path) {
+  if (!flag_path.empty()) return flag_path;
+  if (const char* env = std::getenv("APPSCOPE_TRACE")) {
+    if (*env != '\0') return env;
+  }
+  return "";
+}
+
+namespace {
+/// Path captured by enable_trace_export for its atexit hook. Writes happen
+/// once at process exit; later enable calls may retarget the path.
+std::string& trace_exit_path() {
+  static auto* path = new std::string();
+  return *path;
+}
+}  // namespace
+
+std::string enable_trace_export(const std::string& flag_path) {
+  const std::string path = trace_output_path(flag_path);
+  if (path.empty()) return path;
+  MetricsRegistry::set_enabled(true);
+  trace_exit_path() = path;
+  static const bool registered = [] {
+    std::atexit([] {
+      const std::string& target = trace_exit_path();
+      if (target.empty()) return;
+      try {
+        write_trace_json(target);
+      } catch (...) {
+        // Exporting observability data must never turn a successful run
+        // into a failing exit.
+      }
+    });
+    return true;
+  }();
+  (void)registered;
+  return path;
 }
 
 }  // namespace appscope::util

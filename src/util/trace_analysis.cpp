@@ -1,0 +1,227 @@
+#include "util/trace_analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace appscope::util {
+
+namespace {
+
+std::uint64_t span_end(const TraceEvent& e) noexcept {
+  return e.start_ns + e.duration_ns;
+}
+
+/// Total length of the union of the children's intervals, clamped to the
+/// parent's interval (children may overlap when they ran in parallel).
+std::uint64_t child_union_ns(const TraceEvent& parent,
+                             const std::vector<const TraceEvent*>& children) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals;
+  intervals.reserve(children.size());
+  const std::uint64_t lo = parent.start_ns;
+  const std::uint64_t hi = span_end(parent);
+  for (const TraceEvent* c : children) {
+    const std::uint64_t s = std::max(c->start_ns, lo);
+    const std::uint64_t e = std::min(span_end(*c), hi);
+    if (e > s) intervals.emplace_back(s, e);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  std::uint64_t covered = 0;
+  std::uint64_t cur_lo = 0;
+  std::uint64_t cur_hi = 0;
+  bool open = false;
+  for (const auto& [s, e] : intervals) {
+    if (!open || s > cur_hi) {
+      if (open) covered += cur_hi - cur_lo;
+      cur_lo = s;
+      cur_hi = e;
+      open = true;
+    } else {
+      cur_hi = std::max(cur_hi, e);
+    }
+  }
+  if (open) covered += cur_hi - cur_lo;
+  return covered;
+}
+
+std::uint64_t nearest_rank(const std::vector<std::uint64_t>& sorted,
+                           double quantile) {
+  if (sorted.empty()) return 0;
+  const double rank = quantile * static_cast<double>(sorted.size());
+  std::size_t idx = static_cast<std::size_t>(rank);
+  if (static_cast<double>(idx) < rank) ++idx;  // ceil
+  if (idx == 0) idx = 1;
+  if (idx > sorted.size()) idx = sorted.size();
+  return sorted[idx - 1];
+}
+
+std::string ms(std::uint64_t ns) {
+  return format_double(static_cast<double>(ns) * 1e-6, 3);
+}
+
+}  // namespace
+
+TraceSummary summarize_trace(const std::vector<TraceEvent>& events,
+                             std::string_view root_name) {
+  TraceSummary summary;
+  summary.span_count = events.size();
+  if (events.empty()) return summary;
+
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  by_id.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    by_id.emplace(events[i].span_id, i);
+  }
+  // children[i] = indices of the spans whose parent resolves to span i.
+  std::vector<std::vector<std::size_t>> children(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const std::uint64_t parent = events[i].parent_id;
+    if (parent == 0) continue;
+    const auto it = by_id.find(parent);
+    if (it != by_id.end() && it->second != i) children[it->second].push_back(i);
+  }
+
+  // Per-name aggregates.
+  struct NameAcc {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t self_ns = 0;
+    std::vector<std::uint64_t> durations;
+  };
+  std::map<std::string, NameAcc> names;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::vector<const TraceEvent*> kids;
+    kids.reserve(children[i].size());
+    for (const std::size_t c : children[i]) kids.push_back(&events[c]);
+    const std::uint64_t covered = child_union_ns(e, kids);
+    NameAcc& acc = names[e.name];
+    ++acc.count;
+    acc.total_ns += e.duration_ns;
+    acc.self_ns += e.duration_ns - std::min(covered, e.duration_ns);
+    acc.durations.push_back(e.duration_ns);
+  }
+  for (auto& [name, acc] : names) {
+    std::sort(acc.durations.begin(), acc.durations.end());
+    SpanNameStats stats;
+    stats.name = name;
+    stats.count = acc.count;
+    stats.total_ns = acc.total_ns;
+    stats.self_ns = acc.self_ns;
+    stats.p50_ns = nearest_rank(acc.durations, 0.50);
+    stats.p99_ns = nearest_rank(acc.durations, 0.99);
+    stats.max_ns = acc.durations.back();
+    summary.by_name.push_back(std::move(stats));
+  }
+  std::sort(summary.by_name.begin(), summary.by_name.end(),
+            [](const SpanNameStats& a, const SpanNameStats& b) {
+              return std::tie(b.self_ns, a.name) < std::tie(a.self_ns, b.name);
+            });
+
+  // Root: longest span with the requested name, else longest parentless
+  // span (a parent that never resolved counts as parentless).
+  std::size_t root = events.size();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    const bool eligible =
+        root_name.empty()
+            ? (e.parent_id == 0 || by_id.find(e.parent_id) == by_id.end())
+            : e.name == root_name;
+    if (!eligible) continue;
+    if (root == events.size() || e.duration_ns > events[root].duration_ns) {
+      root = i;
+    }
+  }
+  if (root == events.size()) return summary;
+  summary.root_name = events[root].name;
+  summary.root_duration_ns = events[root].duration_ns;
+
+  // Critical path: from the span's end, repeatedly descend into the child
+  // that finishes last; gaps no child covers belong to the span itself.
+  std::map<std::string, CriticalPathEntry> path;
+  const std::function<void(std::size_t)> walk = [&](std::size_t idx) {
+    const TraceEvent& span = events[idx];
+    const std::uint64_t lo = span.start_ns;
+    CriticalPathEntry& entry = path[span.name];
+    if (entry.name.empty()) entry.name = span.name;
+    ++entry.count;
+
+    // Children clamped to the span, sorted by end time (ascending).
+    std::vector<std::size_t> kids = children[idx];
+    std::sort(kids.begin(), kids.end(), [&](std::size_t a, std::size_t b) {
+      return std::min(span_end(events[a]), span_end(span)) <
+             std::min(span_end(events[b]), span_end(span));
+    });
+    std::uint64_t t = span_end(span);
+    for (std::size_t k = kids.size(); k-- > 0;) {
+      const TraceEvent& child = events[kids[k]];
+      const std::uint64_t c_end = std::min(span_end(child), span_end(span));
+      const std::uint64_t c_start = std::max(child.start_ns, lo);
+      if (c_end > t) continue;  // overlapped by an already-walked child
+      if (c_end <= lo || c_start >= c_end) continue;
+      entry.self_ns += t - c_end;  // gap before the next child closes
+      walk(kids[k]);
+      t = c_start;
+      if (t <= lo) break;
+    }
+    if (t > lo) path[span.name].self_ns += t - lo;
+  };
+  walk(root);
+
+  summary.critical_path.reserve(path.size());
+  for (auto& [name, entry] : path) {
+    summary.critical_path_ns += entry.self_ns;
+    summary.critical_path.push_back(std::move(entry));
+  }
+  std::sort(summary.critical_path.begin(), summary.critical_path.end(),
+            [](const CriticalPathEntry& a, const CriticalPathEntry& b) {
+              return std::tie(b.self_ns, a.name) < std::tie(a.self_ns, b.name);
+            });
+  return summary;
+}
+
+void print_trace_summary(const TraceSummary& summary, std::ostream& out,
+                         std::size_t top) {
+  out << rule("trace summary") << "\n";
+  out << summary.span_count << " spans, " << summary.by_name.size()
+      << " distinct names\n\n";
+
+  TextTable spans({"span", "count", "total ms", "self ms", "p50 ms", "p99 ms"});
+  for (const SpanNameStats& s : summary.by_name) {
+    if (spans.row_count() >= top) break;
+    spans.add_row({s.name, std::to_string(s.count), ms(s.total_ns),
+                   ms(s.self_ns), ms(s.p50_ns), ms(s.p99_ns)});
+  }
+  spans.render(out);
+
+  if (summary.critical_path.empty()) {
+    out << "\nno root span found; critical path unavailable\n";
+    return;
+  }
+  const double coverage =
+      summary.root_duration_ns == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(summary.critical_path_ns) /
+                static_cast<double>(summary.root_duration_ns);
+  out << "\ncritical path of '" << summary.root_name << "' ("
+      << ms(summary.root_duration_ns) << " ms wall, "
+      << format_double(coverage, 1) << "% attributed)\n";
+  TextTable path({"span", "count", "path ms", "share"});
+  for (const CriticalPathEntry& e : summary.critical_path) {
+    const double share =
+        summary.critical_path_ns == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(e.self_ns) /
+                  static_cast<double>(summary.critical_path_ns);
+    path.add_row({e.name, std::to_string(e.count), ms(e.self_ns),
+                  format_double(share, 1) + "%"});
+  }
+  path.render(out);
+}
+
+}  // namespace appscope::util

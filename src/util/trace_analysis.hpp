@@ -1,0 +1,70 @@
+// appscope/util/trace_analysis.hpp
+//
+// Offline analysis of a recorded span list (util/trace.hpp): per-name
+// aggregates (count, total, self time, p50/p99) and the critical path of a
+// run, computed from the span DAG that parent_id links form across thread
+// boundaries. "Self time" is a span's duration minus the union of its
+// children's intervals — children that ran in parallel are counted once.
+//
+// The critical path walks the DAG backwards from the root span's end: at
+// every point it descends into the child that finishes last, and attributes
+// the gaps no child covers to the parent itself. The resulting per-name
+// attribution partitions the root's wall time exactly, so it answers "which
+// serial stages bound this run" — the ROADMAP question behind every
+// parallelization PR.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/trace.hpp"
+
+namespace appscope::util {
+
+/// Aggregates over every span sharing one name.
+struct SpanNameStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  // summed durations
+  std::uint64_t self_ns = 0;   // summed durations minus child-interval union
+  std::uint64_t p50_ns = 0;    // nearest-rank percentiles of the durations
+  std::uint64_t p99_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// One name's attribution on the critical path.
+struct CriticalPathEntry {
+  std::string name;
+  std::uint64_t count = 0;    // spans of this name the path passed through
+  std::uint64_t self_ns = 0;  // wall time the path attributes to this name
+};
+
+struct TraceSummary {
+  /// Every span name, sorted by self time (descending).
+  std::vector<SpanNameStats> by_name;
+  /// Critical-path attribution, sorted by attributed time (descending).
+  /// Empty when no root span was found. The entries partition the root's
+  /// duration: their self_ns sum to critical_path_ns.
+  std::vector<CriticalPathEntry> critical_path;
+  std::string root_name;
+  std::uint64_t root_duration_ns = 0;
+  std::uint64_t critical_path_ns = 0;
+  std::size_t span_count = 0;
+};
+
+/// Builds the summary. `root_name` selects the critical-path root (the
+/// longest span with that name); when empty, the longest parentless span is
+/// used. Spans whose parent_id does not resolve (e.g. the parent was
+/// dropped at the buffer cap) are treated as roots for self-time purposes.
+TraceSummary summarize_trace(const std::vector<TraceEvent>& events,
+                             std::string_view root_name = {});
+
+/// Renders the summary as two util::TextTable tables (top spans by self
+/// time, then the critical path); `top` caps the by-name table's rows.
+void print_trace_summary(const TraceSummary& summary, std::ostream& out,
+                         std::size_t top = 20);
+
+}  // namespace appscope::util

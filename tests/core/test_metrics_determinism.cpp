@@ -5,8 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <vector>
 
+#include "core/report.hpp"
+#include "core/study.hpp"
 #include "geo/territory.hpp"
 #include "la/fft.hpp"
 #include "stats/bootstrap.hpp"
@@ -17,6 +22,7 @@
 #include "ts/kshape.hpp"
 #include "ts/peaks.hpp"
 #include "ts/sbd.hpp"
+#include "util/json.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
@@ -159,6 +165,56 @@ TEST(MetricsDeterminism, PeakDetectionIsIdentical) {
   EXPECT_EQ(off.processed, on.processed);
   EXPECT_EQ(off.smoothed, on.smoothed);
   EXPECT_EQ(off.rising_fronts, on.rising_fronts);
+}
+
+TEST(MetricsDeterminism, StudyReportIsIdenticalWithTraceExportOn) {
+  // The end-to-end acceptance check of the tracing v2 contract: a full
+  // study run with span tracing + trace export enabled renders the exact
+  // same Markdown report as one with every observability switch off —
+  // and leaves a well-formed Chrome trace document behind.
+  auto config = synth::ScenarioConfig::test_scale();
+  const core::TrafficDataset dataset = core::TrafficDataset::generate(config);
+  core::StudyOptions quick;
+  quick.cluster.k_min = 2;
+  quick.cluster.k_max = 4;  // keep the double run quick
+
+  const auto render = [&dataset](const core::StudyReport& report) {
+    std::ostringstream out;
+    core::write_markdown_report(report, dataset, out, {});
+    return out.str();
+  };
+
+  const bool was = util::MetricsRegistry::enabled();
+  util::MetricsRegistry::set_enabled(false);
+  const std::string plain = render(core::run_study(dataset, quick));
+
+  const std::string trace_path =
+      ::testing::TempDir() + "appscope_study_trace.json";
+  util::TraceRecorder::global().reset();
+  core::StudyOptions traced = quick;
+  traced.metrics = true;
+  traced.trace_path = trace_path;
+  const std::string observed = render(core::run_study(dataset, traced));
+  util::MetricsRegistry::set_enabled(was);
+  util::MetricsRegistry::global().reset();
+  util::TraceRecorder::global().reset();
+
+  EXPECT_EQ(plain, observed) << "tracing must not perturb the report";
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << trace_path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const util::Json doc = util::Json::parse(text.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "appscope.trace/1");
+  EXPECT_EQ(doc.at("dropped_events").as_int(), 0);
+  bool found_root = false;
+  for (const util::Json& event : doc.at("traceEvents").as_array()) {
+    EXPECT_EQ(event.at("ph").as_string(), "X");
+    if (event.at("name").as_string() == "core.run_study") found_root = true;
+  }
+  EXPECT_TRUE(found_root) << "the study-wide span must be in the export";
+  std::remove(trace_path.c_str());
 }
 
 TEST(MetricsDeterminism, BootstrapAndCorrelationAreIdentical) {

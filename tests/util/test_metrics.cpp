@@ -230,6 +230,11 @@ TEST(Metrics, WriteMetricsJsonProducesWellFormedFile) {
   const Json& span = doc.at("spans").at(0);
   EXPECT_EQ(span.at("name").as_string(), "file.span");
   EXPECT_GE(span.at("duration_ns").as_int(), 0);
+  EXPECT_GT(span.at("span_id").as_int(), 0);
+  EXPECT_EQ(span.at("parent_id").as_int(), 0);  // root span
+  // Trace health is a first-class counter: drops must be visible even (and
+  // especially) when zero.
+  EXPECT_EQ(doc.at("counters").at("trace.dropped_events").as_int(), 0);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,171 @@
+#include "util/trace_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace appscope::util {
+namespace {
+
+TraceEvent make_span(std::string name, std::uint64_t id, std::uint64_t parent,
+                     std::uint64_t start_ns, std::uint64_t duration_ns,
+                     std::uint32_t thread = 0) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.span_id = id;
+  e.parent_id = parent;
+  e.thread = thread;
+  e.start_ns = start_ns;
+  e.duration_ns = duration_ns;
+  return e;
+}
+
+const SpanNameStats* find(const TraceSummary& s, const std::string& name) {
+  for (const SpanNameStats& n : s.by_name) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+const CriticalPathEntry* find_path(const TraceSummary& s,
+                                   const std::string& name) {
+  for (const CriticalPathEntry& e : s.critical_path) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+// The reference DAG: root [0, 100], child A [0, 60] on thread 1, child B
+// [30, 90] on thread 2 (A and B overlap — parallel children).
+std::vector<TraceEvent> parallel_children_dag() {
+  return {
+      make_span("root", 1, 0, 0, 100),
+      make_span("A", 2, 1, 0, 60, 1),
+      make_span("B", 3, 1, 30, 60, 2),
+  };
+}
+
+TEST(TraceAnalysis, SelfTimeCountsParallelChildrenOnce) {
+  const TraceSummary s = summarize_trace(parallel_children_dag());
+  // Children cover [0, 90] as a union; root self is the uncovered [90, 100].
+  EXPECT_EQ(find(s, "root")->self_ns, 10u);
+  EXPECT_EQ(find(s, "A")->self_ns, 60u);
+  EXPECT_EQ(find(s, "B")->self_ns, 60u);
+  EXPECT_EQ(find(s, "root")->total_ns, 100u);
+  EXPECT_EQ(s.span_count, 3u);
+}
+
+TEST(TraceAnalysis, CriticalPathDescendsIntoLastFinishingChild) {
+  const TraceSummary s = summarize_trace(parallel_children_dag());
+  EXPECT_EQ(s.root_name, "root");
+  EXPECT_EQ(s.root_duration_ns, 100u);
+  // Walking backwards from 100: gap [90, 100] is the root's own; B (the
+  // last-finishing child) owns [30, 90]; the remaining [0, 30] falls to the
+  // root again because A (ending at 60 > 30) is off the path.
+  EXPECT_EQ(find_path(s, "root")->self_ns, 40u);
+  EXPECT_EQ(find_path(s, "B")->self_ns, 60u);
+  EXPECT_EQ(find_path(s, "A"), nullptr);
+  // The attribution partitions the root's wall time exactly.
+  EXPECT_EQ(s.critical_path_ns, s.root_duration_ns);
+}
+
+TEST(TraceAnalysis, CriticalPathRecursesThroughGrandchildren) {
+  std::vector<TraceEvent> events = {
+      make_span("root", 1, 0, 0, 100),
+      make_span("child", 2, 1, 10, 80),
+      make_span("grandchild", 3, 2, 20, 50),
+  };
+  const TraceSummary s = summarize_trace(events);
+  // root owns [90,100] and [0,10]; child owns [70,90] and [10,20];
+  // grandchild owns [20,70].
+  EXPECT_EQ(find_path(s, "root")->self_ns, 20u);
+  EXPECT_EQ(find_path(s, "child")->self_ns, 30u);
+  EXPECT_EQ(find_path(s, "grandchild")->self_ns, 50u);
+  EXPECT_EQ(s.critical_path_ns, 100u);
+}
+
+TEST(TraceAnalysis, ZeroGapChildAtParentEndIsWalked) {
+  // The child ends exactly when the parent does: the walk must descend into
+  // it rather than attributing everything to the parent.
+  std::vector<TraceEvent> events = {
+      make_span("root", 1, 0, 0, 100),
+      make_span("tail", 2, 1, 40, 60),
+  };
+  const TraceSummary s = summarize_trace(events);
+  EXPECT_EQ(find_path(s, "tail")->self_ns, 60u);
+  EXPECT_EQ(find_path(s, "root")->self_ns, 40u);
+}
+
+TEST(TraceAnalysis, RootNameSelectsTheLongestMatchingSpan) {
+  std::vector<TraceEvent> events = {
+      make_span("warmup", 1, 0, 0, 500),
+      make_span("run", 2, 0, 500, 100),
+      make_span("run", 3, 0, 700, 300),
+  };
+  const TraceSummary s = summarize_trace(events, "run");
+  EXPECT_EQ(s.root_name, "run");
+  EXPECT_EQ(s.root_duration_ns, 300u);
+}
+
+TEST(TraceAnalysis, DefaultRootIsTheLongestParentlessSpan) {
+  std::vector<TraceEvent> events = {
+      make_span("short_root", 1, 0, 0, 10),
+      make_span("long_root", 2, 0, 20, 50),
+  };
+  const TraceSummary s = summarize_trace(events);
+  EXPECT_EQ(s.root_name, "long_root");
+}
+
+TEST(TraceAnalysis, UnresolvableParentsAreTreatedAsRoots) {
+  // Parent id 99 was dropped at the buffer cap; the span must still appear
+  // in the by-name table and not crash the walk.
+  std::vector<TraceEvent> events = {
+      make_span("root", 1, 0, 0, 100),
+      make_span("orphan", 2, 99, 10, 20),
+  };
+  const TraceSummary s = summarize_trace(events);
+  ASSERT_NE(find(s, "orphan"), nullptr);
+  EXPECT_EQ(find(s, "orphan")->self_ns, 20u);
+  EXPECT_EQ(find_path(s, "root")->self_ns, 100u);
+}
+
+TEST(TraceAnalysis, PercentilesUseNearestRank) {
+  std::vector<TraceEvent> events;
+  events.push_back(make_span("root", 1, 0, 0, 1000));
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    events.push_back(
+        make_span("unit", i + 2, 1, i * 10, i + 1));  // durations 1..100
+  }
+  const TraceSummary s = summarize_trace(events);
+  const SpanNameStats* unit = find(s, "unit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->count, 100u);
+  EXPECT_EQ(unit->p50_ns, 50u);
+  EXPECT_EQ(unit->p99_ns, 99u);
+  EXPECT_EQ(unit->max_ns, 100u);
+}
+
+TEST(TraceAnalysis, EmptyTraceYieldsEmptySummary) {
+  const TraceSummary s = summarize_trace({});
+  EXPECT_TRUE(s.by_name.empty());
+  EXPECT_TRUE(s.critical_path.empty());
+  EXPECT_EQ(s.root_duration_ns, 0u);
+  std::ostringstream out;
+  print_trace_summary(s, out);  // must not crash on an empty summary
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(TraceAnalysis, PrintRendersTablesAndCoverage) {
+  const TraceSummary s = summarize_trace(parallel_children_dag());
+  std::ostringstream out;
+  print_trace_summary(s, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("root"), std::string::npos);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+  EXPECT_NE(text.find("100.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace appscope::util

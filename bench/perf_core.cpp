@@ -6,16 +6,21 @@
 //  - smoothed z-score peak detection.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <complex>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
 
 #include "bench_common.hpp"
 #include "core/dataset.hpp"
+#include "la/aligned.hpp"
 #include "la/fft.hpp"
 #include "la/fft_plan.hpp"
+#include "la/simd.hpp"
 #include "synth/generator.hpp"
+#include "ts/znorm.hpp"
 #include "ts/kmeans.hpp"
 #include "ts/kshape.hpp"
 #include "ts/peaks.hpp"
@@ -145,6 +150,72 @@ void BM_KMeansBaseline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KMeansBaseline)->Arg(2)->Arg(5)->Arg(10);
+
+// Z-normalization at the weekly length and the FFT working size; exercises
+// the dispatched znorm_apply kernel plus the scalar Welford pass.
+void BM_Znorm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = random_series(n, 11);
+  std::vector<double> out;
+  for (auto _ : state) {
+    ts::znormalize_into(input, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Znorm)->Arg(168)->Arg(512);
+
+// The SBD cross-spectrum product a[i] * conj(b[i]) at the weekly spectrum
+// size (257 bins for n = 512; 260 is the cache-line-padded batch pitch).
+void BM_ConjMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(12);
+  la::AlignedVector<std::complex<double>> a(n);
+  la::AlignedVector<std::complex<double>> b(n);
+  la::AlignedVector<std::complex<double>> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {rng.normal(), rng.normal()};
+    b[i] = {rng.normal(), rng.normal()};
+  }
+  const la::simd::Kernels& kernels = la::simd::active();
+  for (auto _ : state) {
+    kernels.conj_multiply(a.data(), b.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ConjMultiply)->Arg(257)->Arg(260);
+
+// False-sharing microbench: every thread hammers its own counter slot. In
+// the packed layout eight slots share a cache line, so the increments
+// ping-pong the line between cores; the padded layout gives each slot a
+// full line — the policy applied to the per-thread metric and trace shards.
+struct PackedCounterSlot {
+  std::atomic<std::uint64_t> value{0};
+};
+struct alignas(64) PaddedCounterSlot {
+  std::atomic<std::uint64_t> value{0};
+};
+PackedCounterSlot g_packed_counters[64];
+PaddedCounterSlot g_padded_counters[64];
+
+void BM_StripedCountersPacked(benchmark::State& state) {
+  std::atomic<std::uint64_t>& slot =
+      g_packed_counters[state.thread_index()].value;
+  for (auto _ : state) {
+    slot.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+BENCHMARK(BM_StripedCountersPacked)->Threads(1)->Threads(2)->Threads(8);
+
+void BM_StripedCountersPadded(benchmark::State& state) {
+  std::atomic<std::uint64_t>& slot =
+      g_padded_counters[state.thread_index()].value;
+  for (auto _ : state) {
+    slot.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+BENCHMARK(BM_StripedCountersPadded)->Threads(1)->Threads(2)->Threads(8);
 
 void BM_PeakDetection(benchmark::State& state) {
   // Offset to a strictly positive level: the default options detrend by a
@@ -429,6 +500,12 @@ int main(int argc, char** argv) {
   appscope::util::enable_trace_export();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Pin the measured kernel implementation in the run's outputs: once on
+  // stderr for the human log, and as la.simd.dispatch.<name> in the metrics
+  // artifact (when APPSCOPE_METRICS=1) so bench-smoke archives it.
+  std::fprintf(stderr, "la::simd dispatch: %s\n",
+               appscope::la::simd::active_name());
+  appscope::la::simd::record_dispatch_metric();
   BaselineReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   if (const char* path = std::getenv("APPSCOPE_BENCH_JSON");

@@ -30,6 +30,13 @@ void SnapshotSink::consume(const synth::TrafficCell& cell) {
   totals_.consume(cell);
 }
 
+void SnapshotSink::consume_row(const synth::TrafficRow& row) {
+  national_.consume_row(row);
+  commune_totals_.consume_row(row);
+  urbanization_.consume_row(row);
+  totals_.consume_row(row);
+}
+
 SnapshotStats SnapshotSink::finish() {
   APPSCOPE_REQUIRE(!finished_, "SnapshotSink: finish called twice");
   finished_ = true;

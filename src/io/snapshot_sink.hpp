@@ -25,6 +25,7 @@ class SnapshotSink final : public synth::TrafficSink {
                const workload::ServiceCatalog& catalog);
 
   void consume(const synth::TrafficCell& cell) override;
+  void consume_row(const synth::TrafficRow& row) override;
 
   /// Writes the snapshot file. Call exactly once, after the producer is
   /// done streaming. Throws util::InputError on I/O failure.

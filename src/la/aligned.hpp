@@ -1,0 +1,67 @@
+// appscope/la/aligned.hpp
+//
+// Cache-line-aligned storage for the SIMD hot path.
+//
+// AlignedVector<T> is a std::vector whose buffer starts on a 64-byte
+// boundary: SeriesBatch rows, cached spectra and SbdScratch buffers live in
+// these so (a) vector loads never straddle a cache line at the row head and
+// (b) two buffers can never share a cache line, which matters when distinct
+// pool workers own adjacent allocations (false sharing). Alignment is a
+// layout property only — element values and iteration order are unchanged,
+// so switching a buffer to AlignedVector never changes results.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace appscope::la {
+
+/// One cache line / one AVX-512 register; also a multiple of the 32-byte
+/// AVX2 vector width. All hot rows are padded to this.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal aligned allocator over the aligned operator new added in C++17.
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two >= alignof(T)");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// Vector whose data() is 64-byte aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Rounds a count of T elements up so the padded extent is a whole number
+/// of cache lines (e.g. doubles round to a multiple of 8).
+template <typename T>
+constexpr std::size_t padded_count(std::size_t n) noexcept {
+  constexpr std::size_t per_line = kCacheLineBytes / sizeof(T);
+  static_assert(per_line > 0, "element larger than a cache line");
+  return (n + per_line - 1) / per_line * per_line;
+}
+
+}  // namespace appscope::la

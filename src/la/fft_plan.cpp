@@ -1,8 +1,10 @@
 #include "la/fft_plan.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 
+#include "la/simd.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 
@@ -66,11 +68,18 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
     j ^= bit;
     bitrev_[i] = static_cast<std::uint32_t>(j);
   }
-  twiddles_.resize(n / 2);
+  // Stage-packed twiddles (see fft_plan.hpp): the stage with half-size
+  // `half` reads its roots w^(k * n/len) from offset half - 1. Same angle
+  // expression as the strided j-indexed table, so the values are identical.
+  stage_twiddles_.resize(n >= 2 ? n - 1 : 0);
   const double step = -2.0 * M_PI / static_cast<double>(n);
-  for (std::size_t j = 0; j < twiddles_.size(); ++j) {
-    const double angle = step * static_cast<double>(j);
-    twiddles_[j] = {std::cos(angle), std::sin(angle)};
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t stride = n / len;
+    const std::size_t half = len / 2;
+    for (std::size_t k = 0; k < half; ++k) {
+      const double angle = step * static_cast<double>(k * stride);
+      stage_twiddles_[(half - 1) + k] = {std::cos(angle), std::sin(angle)};
+    }
   }
 }
 
@@ -80,30 +89,12 @@ void FftPlan::transform(std::complex<double>* data, bool inverse) const {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(data[i], data[j]);
   }
-  // Butterflies with table twiddles. The multiplies are written out in
-  // real/imaginary form so they compile to plain fused arithmetic instead
-  // of the checked library complex multiply.
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t stride = n / len;
-    const std::size_t half = len / 2;
-    for (std::size_t i = 0; i < n; i += len) {
-      const std::complex<double>* tw = twiddles_.data();
-      for (std::size_t k = 0; k < half; ++k) {
-        const std::complex<double> w = tw[k * stride];
-        const double wr = w.real();
-        const double wi = inverse ? -w.imag() : w.imag();
-        const std::complex<double> u = data[i + k];
-        const std::complex<double> b = data[i + k + half];
-        const double vr = b.real() * wr - b.imag() * wi;
-        const double vi = b.real() * wi + b.imag() * wr;
-        data[i + k] = {u.real() + vr, u.imag() + vi};
-        data[i + k + half] = {u.real() - vr, u.imag() - vi};
-      }
-    }
-  }
+  // Butterflies run through the dispatched SIMD kernels; the scalar and
+  // AVX2 implementations are bitwise identical (see la/simd.hpp).
+  const simd::Kernels& kernels = simd::active();
+  kernels.fft_passes(data, n, stage_twiddles_.data(), inverse);
   if (inverse) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (std::size_t i = 0; i < n; ++i) data[i] *= scale;
+    kernels.complex_scale(data, n, 1.0 / static_cast<double>(n));
   }
 }
 
@@ -145,13 +136,12 @@ void RealFftPlan::forward(std::span<const double> input,
   count_transform();
 
   // Pack pairs of real samples into the half-size complex workspace
-  // (zero-padding past the input).
+  // (zero-padding past the input). std::complex<double> is array-compatible
+  // with double[2], so the even/odd interleave is just a flat copy.
   const std::size_t m = input.size();
-  for (std::size_t j = 0; j < h; ++j) {
-    const double re = 2 * j < m ? input[2 * j] : 0.0;
-    const double im = 2 * j + 1 < m ? input[2 * j + 1] : 0.0;
-    spectrum[j] = {re, im};
-  }
+  double* workspace = reinterpret_cast<double*>(spectrum.data());
+  std::copy_n(input.data(), m, workspace);
+  std::fill(workspace + m, workspace + n, 0.0);
   half_->transform(spectrum.data(), /*inverse=*/false);
 
   // Untangle the even/odd interleave: for Z = FFT_h(packed),
@@ -162,22 +152,7 @@ void RealFftPlan::forward(std::span<const double> input,
   const std::complex<double> z0 = spectrum[0];
   spectrum[0] = {z0.real() + z0.imag(), 0.0};
   spectrum[h] = {z0.real() - z0.imag(), 0.0};
-  for (std::size_t k = 1; k < h - k; ++k) {
-    const std::size_t kk = h - k;
-    const std::complex<double> zk = spectrum[k];
-    const std::complex<double> zkk = spectrum[kk];
-    const double er = 0.5 * (zk.real() + zkk.real());
-    const double ei = 0.5 * (zk.imag() - zkk.imag());
-    // O[k] = (Z[k] - conj(Z[kk])) / (2i)
-    const double odr = 0.5 * (zk.imag() + zkk.imag());
-    const double odi = -0.5 * (zk.real() - zkk.real());
-    const std::complex<double> w = split_[k];
-    const double tr = odr * w.real() - odi * w.imag();
-    const double ti = odr * w.imag() + odi * w.real();
-    // X[h-k] = conj(E[k] - w^k O[k])
-    spectrum[k] = {er + tr, ei + ti};
-    spectrum[kk] = {er - tr, -(ei - ti)};
-  }
+  simd::active().rfft_untangle(spectrum.data(), split_.data(), h);
   if (h >= 2) {
     // Middle bin k = h/2: w^k = -i, so X[k] = conj(Z[k]).
     const std::size_t mid = h / 2;
@@ -201,30 +176,14 @@ void RealFftPlan::inverse(std::span<std::complex<double>> spectrum,
   const double x0 = spectrum[0].real();
   const double xh = spectrum[h].real();
   spectrum[0] = {0.5 * (x0 + xh), 0.5 * (x0 - xh)};
-  for (std::size_t k = 1; k < h - k; ++k) {
-    const std::size_t kk = h - k;
-    const std::complex<double> xk = spectrum[k];
-    const std::complex<double> xkk = spectrum[kk];
-    const double er = 0.5 * (xk.real() + xkk.real());
-    const double ei = 0.5 * (xk.imag() - xkk.imag());
-    const double dr = 0.5 * (xk.real() - xkk.real());
-    const double di = 0.5 * (xk.imag() + xkk.imag());
-    const std::complex<double> w = split_[k];  // conj applied inline
-    const double odr = dr * w.real() + di * w.imag();
-    const double odi = -dr * w.imag() + di * w.real();
-    // Z[k] = E + iO; Z[h-k] = conj(E) + i conj(O)
-    spectrum[k] = {er - odi, ei + odr};
-    spectrum[kk] = {er + odi, odr - ei};
-  }
+  simd::active().rfft_retangle(spectrum.data(), split_.data(), h);
   if (h >= 2) {
     const std::size_t mid = h / 2;
     spectrum[mid] = {spectrum[mid].real(), -spectrum[mid].imag()};
   }
   half_->transform(spectrum.data(), /*inverse=*/true);
-  for (std::size_t j = 0; j < h; ++j) {
-    output[2 * j] = spectrum[j].real();
-    output[2 * j + 1] = spectrum[j].imag();
-  }
+  std::copy_n(reinterpret_cast<const double*>(spectrum.data()), n,
+              output.data());
 }
 
 const RealFftPlan& RealFftPlan::plan_for(std::size_t n) {

@@ -27,6 +27,8 @@
 #include <span>
 #include <vector>
 
+#include "la/aligned.hpp"
+
 namespace appscope::la {
 
 /// Immutable plan for an in-place radix-2 complex FFT of size n (a power of
@@ -53,8 +55,12 @@ class FftPlan {
 
   std::size_t n_;
   std::vector<std::uint32_t> bitrev_;
-  /// Forward roots of unity exp(-2*pi*i*j/n) for j in [0, n/2).
-  std::vector<std::complex<double>> twiddles_;
+  /// Forward roots of unity, packed per butterfly stage: the stage with
+  /// half-size `half` owns the `half` consecutive entries starting at
+  /// offset `half - 1` (n - 1 entries total), so the la::simd butterfly
+  /// kernels read twiddles contiguously. Values are the same
+  /// exp(-2*pi*i*j/n) doubles a strided j-indexed table would hold.
+  AlignedVector<std::complex<double>> stage_twiddles_;
 
   friend class RealFftPlan;
 };
@@ -90,7 +96,7 @@ class RealFftPlan {
   std::size_t n_;
   const FftPlan* half_;  // cached plan of size n/2 (never freed)
   /// Split twiddles exp(-2*pi*i*k/n) for k in [0, n/4].
-  std::vector<std::complex<double>> split_;
+  AlignedVector<std::complex<double>> split_;
 };
 
 }  // namespace appscope::la

@@ -1,0 +1,245 @@
+// Scalar reference kernels + dispatch selection for la::simd.
+//
+// The scalar kernels are the determinism anchor: they perform exactly the
+// operation sequences the pre-SIMD inline loops performed, and every other
+// implementation must reproduce their bits. Keep them boring — any change
+// here changes results project-wide.
+#include "la/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <mutex>
+
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
+namespace appscope::la::simd {
+
+namespace scalar {
+
+void fft_passes(std::complex<double>* data, std::size_t n,
+                const std::complex<double>* stage_twiddles, bool inverse) {
+  // Butterflies with stage-packed table twiddles, written out in
+  // real/imaginary form so they compile to plain arithmetic instead of the
+  // checked library complex multiply.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::complex<double>* tw = stage_twiddles + (half - 1);
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const std::complex<double> w = tw[k];
+        const double wr = w.real();
+        const double wi = inverse ? -w.imag() : w.imag();
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> b = data[i + k + half];
+        const double vr = b.real() * wr - b.imag() * wi;
+        const double vi = b.real() * wi + b.imag() * wr;
+        data[i + k] = {u.real() + vr, u.imag() + vi};
+        data[i + k + half] = {u.real() - vr, u.imag() - vi};
+      }
+    }
+  }
+}
+
+void rfft_untangle(std::complex<double>* spectrum,
+                   const std::complex<double>* split, std::size_t h) {
+  for (std::size_t k = 1; k < h - k; ++k) {
+    const std::size_t kk = h - k;
+    const std::complex<double> zk = spectrum[k];
+    const std::complex<double> zkk = spectrum[kk];
+    const double er = 0.5 * (zk.real() + zkk.real());
+    const double ei = 0.5 * (zk.imag() - zkk.imag());
+    // O[k] = (Z[k] - conj(Z[kk])) / (2i)
+    const double odr = 0.5 * (zk.imag() + zkk.imag());
+    const double odi = -0.5 * (zk.real() - zkk.real());
+    const std::complex<double> w = split[k];
+    const double tr = odr * w.real() - odi * w.imag();
+    const double ti = odr * w.imag() + odi * w.real();
+    // X[h-k] = conj(E[k] - w^k O[k])
+    spectrum[k] = {er + tr, ei + ti};
+    spectrum[kk] = {er - tr, -(ei - ti)};
+  }
+}
+
+void rfft_retangle(std::complex<double>* spectrum,
+                   const std::complex<double>* split, std::size_t h) {
+  for (std::size_t k = 1; k < h - k; ++k) {
+    const std::size_t kk = h - k;
+    const std::complex<double> xk = spectrum[k];
+    const std::complex<double> xkk = spectrum[kk];
+    const double er = 0.5 * (xk.real() + xkk.real());
+    const double ei = 0.5 * (xk.imag() - xkk.imag());
+    const double dr = 0.5 * (xk.real() - xkk.real());
+    const double di = 0.5 * (xk.imag() + xkk.imag());
+    const std::complex<double> w = split[k];  // conj applied inline
+    const double odr = dr * w.real() + di * w.imag();
+    const double odi = -dr * w.imag() + di * w.real();
+    // Z[k] = E + iO; Z[h-k] = conj(E) + i conj(O)
+    spectrum[k] = {er - odi, ei + odr};
+    spectrum[kk] = {er + odi, odr - ei};
+  }
+}
+
+void conj_multiply(const std::complex<double>* a, const std::complex<double>* b,
+                   std::complex<double>* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ar = a[i].real();
+    const double ai = a[i].imag();
+    const double br = b[i].real();
+    const double bi = b[i].imag();
+    out[i] = {ar * br + ai * bi, ai * br - ar * bi};
+  }
+}
+
+void complex_scale(std::complex<double>* data, std::size_t n, double alpha) {
+  for (std::size_t i = 0; i < n; ++i) data[i] *= alpha;
+}
+
+void scale(double* x, std::size_t n, double alpha) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void accumulate(double* acc, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += x[i];
+}
+
+void znorm_apply(double* x, std::size_t n, double mean, double stddev) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = (x[i] - mean) / stddev;
+}
+
+void row_scale(double c, const double* w, const double* jitter,
+               const double* presence, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = c * w[i] * jitter[i] * presence[i];
+  }
+}
+
+double max_value(const double* x, std::size_t n) {
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] > best) best = x[i];
+  }
+  return best;
+}
+
+std::size_t find_first_equal(const double* x, std::size_t n, double v) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] == v) return i;
+  }
+  return n;
+}
+
+const Kernels& table() noexcept {
+  static constexpr Kernels kTable = {
+      "scalar",      fft_passes, rfft_untangle, rfft_retangle,
+      conj_multiply, complex_scale, scale,      axpy,
+      accumulate,    znorm_apply, row_scale,    max_value,
+      find_first_equal,
+  };
+  return kTable;
+}
+
+}  // namespace scalar
+
+#if defined(APPSCOPE_SIMD_AVX2)
+namespace avx2 {
+// Defined in simd_avx2.cpp (compiled with -mavx2).
+const Kernels& table() noexcept;
+bool cpu_supported() noexcept;
+}  // namespace avx2
+#endif
+
+namespace {
+
+std::atomic<const Kernels*> g_active{nullptr};
+std::once_flag g_init_once;
+
+const Kernels* table_for(Dispatch d) noexcept {
+  switch (d) {
+    case Dispatch::kScalar:
+      return &scalar::table();
+    case Dispatch::kAvx2:
+#if defined(APPSCOPE_SIMD_AVX2)
+      if (avx2::cpu_supported()) return &avx2::table();
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+const Kernels* resolve_initial() {
+  if (const char* env = std::getenv("APPSCOPE_SIMD");
+      env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) return &scalar::table();
+    if (std::strcmp(env, "avx2") == 0) {
+      if (const Kernels* t = table_for(Dispatch::kAvx2)) return t;
+      std::fprintf(stderr,
+                   "appscope: APPSCOPE_SIMD=avx2 requested but AVX2 is "
+                   "unavailable on this build/CPU; using scalar kernels\n");
+      return &scalar::table();
+    }
+    std::fprintf(stderr,
+                 "appscope: unknown APPSCOPE_SIMD value '%s' "
+                 "(expected avx2|scalar); using default dispatch\n",
+                 env);
+  }
+  if (const Kernels* t = table_for(Dispatch::kAvx2)) return t;
+  return &scalar::table();
+}
+
+const Kernels* load_active() noexcept {
+  const Kernels* t = g_active.load(std::memory_order_acquire);
+  if (t != nullptr) return t;
+  std::call_once(g_init_once, [] {
+    const Kernels* expected = nullptr;
+    const Kernels* resolved = resolve_initial();
+    g_active.compare_exchange_strong(expected, resolved,
+                                     std::memory_order_acq_rel);
+  });
+  return g_active.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+const Kernels& active() noexcept { return *load_active(); }
+
+Dispatch active_dispatch() noexcept {
+  return load_active() == &scalar::table() ? Dispatch::kScalar : Dispatch::kAvx2;
+}
+
+const char* active_name() noexcept { return load_active()->name; }
+
+bool avx2_available() noexcept {
+  return table_for(Dispatch::kAvx2) != nullptr;
+}
+
+void set_dispatch(Dispatch d) {
+  const Kernels* t = table_for(d);
+  APPSCOPE_REQUIRE(t != nullptr,
+                   "simd: requested dispatch unavailable on this build/CPU");
+  load_active();  // ensure the once-init happened so a store sticks
+  g_active.store(t, std::memory_order_release);
+}
+
+const Kernels& kernels_for(Dispatch d) {
+  const Kernels* t = table_for(d);
+  APPSCOPE_REQUIRE(t != nullptr,
+                   "simd: requested dispatch unavailable on this build/CPU");
+  return *t;
+}
+
+void record_dispatch_metric() {
+  if (!util::MetricsRegistry::enabled()) return;
+  util::MetricsRegistry::global().add(active_dispatch() == Dispatch::kAvx2
+                                          ? "la.simd.dispatch.avx2"
+                                          : "la.simd.dispatch.scalar");
+}
+
+}  // namespace appscope::la::simd

@@ -1,0 +1,133 @@
+// appscope/la/simd.hpp
+//
+// Dispatched SIMD kernels for the SBD/FFT/z-norm hot path.
+//
+// Every kernel here exists in (at least) two implementations: a scalar
+// reference and an AVX2 version, selected once per process through a kernel
+// table. The contract that makes this safe project-wide is *bitwise
+// determinism*: for every input, every implementation of a kernel produces
+// exactly the same double bits. That is achievable because the kernels are
+// restricted to elementwise work — each output element is computed by the
+// same IEEE operation sequence in every implementation, so vector lanes
+// can't reorder anything that affects rounding. Order-sensitive reductions
+// (Welford running stats, sequential dot products and sums) deliberately
+// stay scalar in their home modules; the only reduction-shaped kernels here
+// (max_value / find_first_equal) are exact searches whose results are
+// order-independent, see the notes on each.
+//
+// Dispatch: the active table is chosen on first use from the APPSCOPE_SIMD
+// environment variable ("avx2" or "scalar"); unset picks AVX2 when the
+// build has it compiled in and the CPU reports support, else scalar.
+// Tests flip implementations at runtime with set_dispatch() to prove
+// parity. Kernel pointers live behind one atomic so the choice is safe to
+// read from any thread.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+namespace appscope::la::simd {
+
+/// Available kernel implementations.
+enum class Dispatch {
+  kScalar,
+  kAvx2,
+};
+
+/// Table of hot-loop kernels. All pointers are always non-null.
+///
+/// FFT kernels consume *stage-packed* twiddles: the butterflies of the
+/// stage with half-size `half` read `half` consecutive roots starting at
+/// offset `half - 1` (stages packed back to back, n - 1 entries total for a
+/// size-n transform). The packed values are the same exp(-2*pi*i*j/n)
+/// doubles the strided layout held, just gathered per stage so vector loads
+/// are contiguous.
+struct Kernels {
+  const char* name;  // "scalar" or "avx2"
+
+  /// All butterfly stages of an in-place radix-2 transform over
+  /// data[0, n). Expects bit-reversed input (the permutation pass stays
+  /// with the plan). `inverse` conjugates the twiddles; no 1/n scaling.
+  void (*fft_passes)(std::complex<double>* data, std::size_t n,
+                     const std::complex<double>* stage_twiddles, bool inverse);
+
+  /// The (k, h-k) untangle loop of RealFftPlan::forward for k in
+  /// [1, ceil(h/2) - 1]; DC/Nyquist and the middle bin stay with the plan.
+  /// `split` holds exp(-2*pi*i*k/(2h)) for k in [0, h/2].
+  void (*rfft_untangle)(std::complex<double>* spectrum,
+                        const std::complex<double>* split, std::size_t h);
+
+  /// The (k, h-k) re-tangle loop of RealFftPlan::inverse, same bounds.
+  void (*rfft_retangle)(std::complex<double>* spectrum,
+                        const std::complex<double>* split, std::size_t h);
+
+  /// out[i] = {a[i].re * b[i].re + a[i].im * b[i].im,
+  ///           a[i].im * b[i].re - a[i].re * b[i].im}  (a . conj(b), the
+  /// SBD cross-correlation product).
+  void (*conj_multiply)(const std::complex<double>* a,
+                        const std::complex<double>* b,
+                        std::complex<double>* out, std::size_t n);
+
+  /// data[i] *= alpha for complex data (both components scaled).
+  void (*complex_scale)(std::complex<double>* data, std::size_t n,
+                        double alpha);
+
+  /// x[i] *= alpha.
+  void (*scale)(double* x, std::size_t n, double alpha);
+
+  /// y[i] += alpha * x[i].
+  void (*axpy)(double alpha, const double* x, double* y, std::size_t n);
+
+  /// acc[i] += x[i].
+  void (*accumulate)(double* acc, const double* x, std::size_t n);
+
+  /// x[i] = (x[i] - mean) / stddev. Real division — no reciprocal trick,
+  /// so bits match the scalar apply loop exactly.
+  void (*znorm_apply)(double* x, std::size_t n, double mean, double stddev);
+
+  /// out[i] = ((c * w[i]) * jitter[i]) * presence[i] — the generator's
+  /// per-hour traffic product with the scalar association order.
+  void (*row_scale)(double c, const double* w, const double* jitter,
+                    const double* presence, double* out, std::size_t n);
+
+  /// Maximum of x[0, n) under the `>` comparison (NaNs never win; -inf for
+  /// an empty or all-NaN range). The result is order-independent: max over
+  /// non-NaN doubles is associative/commutative, and when several elements
+  /// tie at a zero of either sign, both compare == so callers that re-read
+  /// the element at find_first_equal() see identical bits regardless of
+  /// which representative this returns.
+  double (*max_value)(const double* x, std::size_t n);
+
+  /// First i with x[i] == v (IEEE ==, so +0 matches -0), or n if none.
+  std::size_t (*find_first_equal)(const double* x, std::size_t n, double v);
+};
+
+/// The active kernel table (atomic acquire load; first call resolves
+/// APPSCOPE_SIMD and CPU support).
+const Kernels& active() noexcept;
+
+/// Which implementation active() currently returns.
+Dispatch active_dispatch() noexcept;
+
+/// active().name — "scalar" or "avx2".
+const char* active_name() noexcept;
+
+/// True when AVX2 kernels are compiled in (APPSCOPE_SIMD build option) and
+/// the CPU reports AVX2.
+bool avx2_available() noexcept;
+
+/// Switches the active table at runtime (test hook; also reachable via
+/// APPSCOPE_SIMD before first use). Throws if the requested implementation
+/// is unavailable on this build/CPU.
+void set_dispatch(Dispatch d);
+
+/// Direct access to a specific implementation without flipping the global
+/// dispatch — parity tests compare kernels_for(kScalar) against
+/// kernels_for(kAvx2) on the same inputs. Throws if unavailable.
+const Kernels& kernels_for(Dispatch d);
+
+/// Records which dispatch path is active under the counter
+/// la.simd.dispatch.<name> when metrics are enabled (observation only).
+void record_dispatch_metric();
+
+}  // namespace appscope::la::simd

@@ -1,0 +1,342 @@
+// AVX2 kernel implementations for la::simd.
+//
+// Compiled with -mavx2 -ffp-contract=off (see src/la/CMakeLists.txt); the
+// rest of the project never needs AVX2 to link this TU because everything is
+// reached through the kernel table.
+//
+// Bitwise contract with the scalar kernels: every lane performs the same
+// IEEE operation sequence the scalar loop performs for that element. The
+// building blocks used to guarantee that:
+//   - no FMA intrinsics — multiplies and adds stay separate operations,
+//     matching the non-contracted scalar code;
+//   - x - y is computed either as a vector subtract or as x + (-y) via a
+//     sign-bit xor: identical IEEE results for every numeric y, and the
+//     only divergence possible at all is the sign/payload bits of a
+//     *propagated NaN* (the xor flips y's sign bit before it propagates) —
+//     still NaN in both paths, and unreachable from finite pipeline data;
+//   - commutes (a + b vs b + a, a * b vs b * a) are allowed — IEEE addition
+//     and multiplication are commutative at the bit level for numeric
+//     operands (when *two* NaN payloads meet, the propagated payload can
+//     depend on operand order; results are still NaN in both paths);
+//   - complex shuffles only move lanes, never re-round.
+#include "la/simd.hpp"
+
+#if !defined(__AVX2__)
+#error "simd_avx2.cpp must be compiled with -mavx2"
+#endif
+
+#include <immintrin.h>
+
+#include <limits>
+
+namespace appscope::la::simd::avx2 {
+
+namespace {
+
+using cd = std::complex<double>;
+
+/// Sign mask flipping the imaginary (odd) lanes: xor with this negates the
+/// imaginary halves of two packed complex doubles.
+inline __m256d imag_neg() noexcept { return _mm256_set_pd(-0.0, 0.0, -0.0, 0.0); }
+
+/// Swaps the two 128-bit halves, i.e. swaps two packed complex values.
+inline __m256d swap_halves(__m256d v) noexcept {
+  return _mm256_permute2f128_pd(v, v, 0x01);
+}
+
+}  // namespace
+
+void fft_passes(cd* data, std::size_t n, const cd* stage_twiddles,
+                bool inverse) {
+  if (n < 4) {
+    if (n == 2) {
+      // Single butterfly, same arithmetic as the scalar kernel.
+      const cd w = stage_twiddles[0];
+      const double wr = w.real();
+      const double wi = inverse ? -w.imag() : w.imag();
+      const cd u = data[0];
+      const cd b = data[1];
+      const double vr = b.real() * wr - b.imag() * wi;
+      const double vi = b.real() * wi + b.imag() * wr;
+      data[0] = {u.real() + vr, u.imag() + vi};
+      data[1] = {u.real() - vr, u.imag() - vi};
+    }
+    return;
+  }
+  double* d = reinterpret_cast<double*>(data);
+  // len == 2: butterflies pair adjacent complex values, so deinterleave two
+  // (u, b) pairs across the 128-bit halves. The stage twiddle w = stw[0] is
+  // (1, -0.0) — the multiplies are kept (not short-circuited to u +/- b) so
+  // signed zeros and NaNs come out exactly as in the scalar pass.
+  {
+    const cd w = stage_twiddles[0];
+    const __m256d wr_v = _mm256_set1_pd(w.real());
+    const __m256d wi_v = _mm256_set1_pd(inverse ? -w.imag() : w.imag());
+    for (std::size_t i = 0; i < n; i += 4) {
+      const __m256d y0 = _mm256_loadu_pd(d + 2 * i);
+      const __m256d y1 = _mm256_loadu_pd(d + 2 * i + 4);
+      const __m256d u = _mm256_permute2f128_pd(y0, y1, 0x20);
+      const __m256d b = _mm256_permute2f128_pd(y0, y1, 0x31);
+      const __m256d t1 = _mm256_mul_pd(b, wr_v);
+      const __m256d t2 = _mm256_mul_pd(_mm256_permute_pd(b, 0x5), wi_v);
+      const __m256d v = _mm256_addsub_pd(t1, t2);
+      const __m256d lo = _mm256_add_pd(u, v);
+      const __m256d hi = _mm256_sub_pd(u, v);
+      _mm256_storeu_pd(d + 2 * i, _mm256_permute2f128_pd(lo, hi, 0x20));
+      _mm256_storeu_pd(d + 2 * i + 4, _mm256_permute2f128_pd(lo, hi, 0x31));
+    }
+  }
+  // len >= 4: u and b runs are contiguous, two butterflies per iteration.
+  const __m256d neg = imag_neg();
+  for (std::size_t len = 4; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const cd* tw = stage_twiddles + (half - 1);
+    for (std::size_t i = 0; i < n; i += len) {
+      double* base = d + 2 * i;
+      for (std::size_t k = 0; k < half; k += 2) {
+        __m256d wv =
+            _mm256_loadu_pd(reinterpret_cast<const double*>(tw + k));
+        if (inverse) wv = _mm256_xor_pd(wv, neg);
+        const __m256d u = _mm256_loadu_pd(base + 2 * k);
+        const __m256d b = _mm256_loadu_pd(base + 2 * (k + half));
+        // v = b * w: [br*wr - bi*wi, bi*wr + br*wi]
+        const __m256d t1 = _mm256_mul_pd(b, _mm256_movedup_pd(wv));
+        const __m256d t2 = _mm256_mul_pd(_mm256_permute_pd(b, 0x5),
+                                         _mm256_permute_pd(wv, 0xF));
+        const __m256d v = _mm256_addsub_pd(t1, t2);
+        _mm256_storeu_pd(base + 2 * k, _mm256_add_pd(u, v));
+        _mm256_storeu_pd(base + 2 * (k + half), _mm256_sub_pd(u, v));
+      }
+    }
+  }
+}
+
+void rfft_untangle(cd* spectrum, const cd* split, std::size_t h) {
+  double* sp = reinterpret_cast<double*>(spectrum);
+  const __m256d neg = imag_neg();
+  const __m256d half_v = _mm256_set1_pd(0.5);
+  std::size_t k = 1;
+  // Pairs (k, k+1); both mirrors must stay strictly above their index, i.e.
+  // k+1 < h-(k+1). Written additively so h == 1 cannot wrap the subtraction.
+  for (; 2 * k + 2 < h; k += 2) {
+    const __m256d zk = _mm256_loadu_pd(sp + 2 * k);  // [z_k, z_{k+1}]
+    const __m256d zm =
+        swap_halves(_mm256_loadu_pd(sp + 2 * (h - k - 1)));  // [z_{h-k}, z_{h-k-1}]
+    const __m256d wv =
+        _mm256_loadu_pd(reinterpret_cast<const double*>(split + k));
+    // P = 0.5*(zk + zkk) = [er, odr]; Q = 0.5*(zk - zkk) = [-odi, ei]
+    const __m256d P = _mm256_mul_pd(_mm256_add_pd(zk, zm), half_v);
+    const __m256d Q = _mm256_mul_pd(_mm256_sub_pd(zk, zm), half_v);
+    const __m256d od = _mm256_xor_pd(_mm256_shuffle_pd(P, Q, 0x5), neg);
+    const __m256d e = _mm256_shuffle_pd(P, Q, 0xA);  // [er, ei]
+    // t = od * w: [odr*wr - odi*wi, odr*wi + odi*wr]
+    const __m256d t1 = _mm256_mul_pd(_mm256_movedup_pd(od), wv);
+    const __m256d t2 = _mm256_mul_pd(_mm256_permute_pd(od, 0xF),
+                                     _mm256_permute_pd(wv, 0x5));
+    const __m256d t = _mm256_addsub_pd(t1, t2);
+    const __m256d outk = _mm256_add_pd(e, t);
+    // X[h-k] = conj(E - t)
+    const __m256d outm = _mm256_xor_pd(_mm256_sub_pd(e, t), neg);
+    _mm256_storeu_pd(sp + 2 * k, outk);
+    _mm256_storeu_pd(sp + 2 * (h - k - 1), swap_halves(outm));
+  }
+  for (; k < h - k; ++k) {
+    const std::size_t kk = h - k;
+    const cd zk = spectrum[k];
+    const cd zkk = spectrum[kk];
+    const double er = 0.5 * (zk.real() + zkk.real());
+    const double ei = 0.5 * (zk.imag() - zkk.imag());
+    const double odr = 0.5 * (zk.imag() + zkk.imag());
+    const double odi = -0.5 * (zk.real() - zkk.real());
+    const cd w = split[k];
+    const double tr = odr * w.real() - odi * w.imag();
+    const double ti = odr * w.imag() + odi * w.real();
+    spectrum[k] = {er + tr, ei + ti};
+    spectrum[kk] = {er - tr, -(ei - ti)};
+  }
+}
+
+void rfft_retangle(cd* spectrum, const cd* split, std::size_t h) {
+  double* sp = reinterpret_cast<double*>(spectrum);
+  const __m256d neg = imag_neg();
+  const __m256d half_v = _mm256_set1_pd(0.5);
+  std::size_t k = 1;
+  for (; 2 * k + 2 < h; k += 2) {  // k+1 < h-(k+1), wrap-safe for h == 1
+    const __m256d xk = _mm256_loadu_pd(sp + 2 * k);
+    const __m256d xm = swap_halves(_mm256_loadu_pd(sp + 2 * (h - k - 1)));
+    const __m256d wv =
+        _mm256_loadu_pd(reinterpret_cast<const double*>(split + k));
+    // S = 0.5*(xk + xkk) = [er, di]; D = 0.5*(xk - xkk) = [dr, ei]
+    const __m256d S = _mm256_mul_pd(_mm256_add_pd(xk, xm), half_v);
+    const __m256d D = _mm256_mul_pd(_mm256_sub_pd(xk, xm), half_v);
+    const __m256d a = _mm256_shuffle_pd(D, S, 0xA);  // [dr, di]
+    const __m256d e = _mm256_shuffle_pd(S, D, 0xA);  // [er, ei]
+    // od = [dr*wr + di*wi, di*wr - dr*wi]
+    const __m256d t1 = _mm256_mul_pd(a, _mm256_movedup_pd(wv));
+    const __m256d t2 = _mm256_mul_pd(_mm256_permute_pd(a, 0x5),
+                                     _mm256_permute_pd(wv, 0xF));
+    const __m256d od = _mm256_add_pd(t1, _mm256_xor_pd(t2, neg));
+    const __m256d odsw = _mm256_permute_pd(od, 0x5);  // [odi, odr]
+    const __m256d outk = _mm256_addsub_pd(e, odsw);   // [er-odi, ei+odr]
+    // [er+odi, odr-ei]
+    const __m256d outm = _mm256_add_pd(_mm256_xor_pd(e, neg), odsw);
+    _mm256_storeu_pd(sp + 2 * k, outk);
+    _mm256_storeu_pd(sp + 2 * (h - k - 1), swap_halves(outm));
+  }
+  for (; k < h - k; ++k) {
+    const std::size_t kk = h - k;
+    const cd xk = spectrum[k];
+    const cd xkk = spectrum[kk];
+    const double er = 0.5 * (xk.real() + xkk.real());
+    const double ei = 0.5 * (xk.imag() - xkk.imag());
+    const double dr = 0.5 * (xk.real() - xkk.real());
+    const double di = 0.5 * (xk.imag() + xkk.imag());
+    const cd w = split[k];
+    const double odr = dr * w.real() + di * w.imag();
+    const double odi = -dr * w.imag() + di * w.real();
+    spectrum[k] = {er - odi, ei + odr};
+    spectrum[kk] = {er + odi, odr - ei};
+  }
+}
+
+void conj_multiply(const cd* a, const cd* b, cd* out, std::size_t n) {
+  const double* A = reinterpret_cast<const double*>(a);
+  const double* B = reinterpret_cast<const double*>(b);
+  double* O = reinterpret_cast<double*>(out);
+  const __m256d neg = imag_neg();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d av = _mm256_loadu_pd(A + 2 * i);
+    const __m256d bv = _mm256_loadu_pd(B + 2 * i);
+    // [ar*br + ai*bi, ai*br - ar*bi]
+    const __m256d t1 = _mm256_mul_pd(av, _mm256_movedup_pd(bv));
+    const __m256d t2 = _mm256_mul_pd(_mm256_permute_pd(av, 0x5),
+                                     _mm256_permute_pd(bv, 0xF));
+    _mm256_storeu_pd(O + 2 * i, _mm256_add_pd(t1, _mm256_xor_pd(t2, neg)));
+  }
+  for (; i < n; ++i) {
+    const double ar = a[i].real();
+    const double ai = a[i].imag();
+    const double br = b[i].real();
+    const double bi = b[i].imag();
+    out[i] = {ar * br + ai * bi, ai * br - ar * bi};
+  }
+}
+
+void complex_scale(cd* data, std::size_t n, double alpha) {
+  double* d = reinterpret_cast<double*>(data);
+  const std::size_t m = 2 * n;
+  const __m256d av = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    _mm256_storeu_pd(d + i, _mm256_mul_pd(_mm256_loadu_pd(d + i), av));
+  }
+  for (; i < m; ++i) d[i] *= alpha;
+}
+
+void scale(double* x, std::size_t n, double alpha) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), av));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t = _mm256_mul_pd(av, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), t));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void accumulate(double* acc, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+void znorm_apply(double* x, std::size_t n, double mean, double stddev) {
+  const __m256d mv = _mm256_set1_pd(mean);
+  const __m256d sv = _mm256_set1_pd(stddev);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        x + i, _mm256_div_pd(_mm256_sub_pd(_mm256_loadu_pd(x + i), mv), sv));
+  }
+  for (; i < n; ++i) x[i] = (x[i] - mean) / stddev;
+}
+
+void row_scale(double c, const double* w, const double* jitter,
+               const double* presence, double* out, std::size_t n) {
+  const __m256d cv = _mm256_set1_pd(c);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d v = _mm256_mul_pd(cv, _mm256_loadu_pd(w + i));
+    v = _mm256_mul_pd(v, _mm256_loadu_pd(jitter + i));
+    v = _mm256_mul_pd(v, _mm256_loadu_pd(presence + i));
+    _mm256_storeu_pd(out + i, v);
+  }
+  for (; i < n; ++i) out[i] = c * w[i] * jitter[i] * presence[i];
+}
+
+double max_value(const double* x, std::size_t n) {
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t i = 0;
+  if (n >= 4) {
+    __m256d vbest = _mm256_set1_pd(best);
+    for (; i + 4 <= n; i += 4) {
+      const __m256d v = _mm256_loadu_pd(x + i);
+      // GT_OQ is false for NaN lanes, so NaNs never replace the running max
+      // — same skip rule as the scalar `>` scan.
+      const __m256d gt = _mm256_cmp_pd(v, vbest, _CMP_GT_OQ);
+      vbest = _mm256_blendv_pd(vbest, v, gt);
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, vbest);
+    for (const double l : lanes) {
+      if (l > best) best = l;
+    }
+  }
+  for (; i < n; ++i) {
+    if (x[i] > best) best = x[i];
+  }
+  return best;
+}
+
+std::size_t find_first_equal(const double* x, std::size_t n, double v) {
+  const __m256d vv = _mm256_set1_pd(v);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d eq = _mm256_cmp_pd(_mm256_loadu_pd(x + i), vv, _CMP_EQ_OQ);
+    const int mask = _mm256_movemask_pd(eq);
+    if (mask != 0) {
+      return i + static_cast<std::size_t>(
+                     __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; i < n; ++i) {
+    if (x[i] == v) return i;
+  }
+  return n;
+}
+
+bool cpu_supported() noexcept { return __builtin_cpu_supports("avx2"); }
+
+const Kernels& table() noexcept {
+  static constexpr Kernels kTable = {
+      "avx2",        fft_passes, rfft_untangle, rfft_retangle,
+      conj_multiply, complex_scale, scale,      axpy,
+      accumulate,    znorm_apply, row_scale,    max_value,
+      find_first_equal,
+  };
+  return kTable;
+}
+
+}  // namespace appscope::la::simd::avx2

@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/simd.hpp"
 #include "util/error.hpp"
+
+// The sequential reductions (dot, norms, sum, squared_distance) stay scalar
+// on purpose: they accumulate in index order, and any vector re-association
+// would change their bits — and with them seeded results project-wide. Only
+// the elementwise operations dispatch to la::simd.
 
 namespace appscope::la {
 
@@ -42,11 +48,11 @@ double distance(std::span<const double> a, std::span<const double> b) {
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   APPSCOPE_REQUIRE(x.size() == y.size(), "axpy: length mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd::active().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scale(std::span<double> x, double alpha) noexcept {
-  for (double& v : x) v *= alpha;
+  simd::active().scale(x.data(), x.size(), alpha);
 }
 
 std::vector<double> add(std::span<const double> a, std::span<const double> b) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "geo/territory.hpp"
+#include "la/aligned.hpp"
 #include "synth/sinks.hpp"
 #include "workload/catalog.hpp"
 #include "workload/mobility.hpp"
@@ -34,10 +35,12 @@ class AnalyticGenerator {
   ///
   /// Communes are sharded across the global util::ThreadPool: each worker
   /// derives the commune's own noise stream (seeded by commune id, exactly
-  /// as the serial path always has) and stages its cells in a BufferSink;
-  /// shards are replayed into `sink` in commune order. The sink therefore
-  /// sees the identical cell sequence at any thread count, and outputs are
-  /// bitwise equal to a single-threaded run.
+  /// as the serial path always has) and stages its (service, commune) rows
+  /// in a RowBufferSink; shards are replayed into `sink` in commune order
+  /// via consume_row. The sink therefore sees the identical row sequence at
+  /// any thread count — and, through the default consume_row expansion, the
+  /// identical cell sequence — so outputs are bitwise equal to a
+  /// single-threaded run.
   void generate(TrafficSink& sink) const;
 
   /// Expected (noise-free) weekly per-user volume of a service in a commune.
@@ -46,7 +49,19 @@ class AnalyticGenerator {
                                   workload::Direction d) const;
 
  private:
-  void generate_commune(const geo::Commune& commune, TrafficSink& sink) const;
+  /// Per-worker scratch for generate_commune: one week of jitter, presence
+  /// and per-direction volumes, reused across every service and commune a
+  /// worker generates (cache-line aligned for the row_scale kernel; no
+  /// allocations in the hot loop after first use).
+  struct RowScratch {
+    la::AlignedVector<double> jitter;
+    la::AlignedVector<double> presence;
+    la::AlignedVector<double> downlink;
+    la::AlignedVector<double> uplink;
+  };
+
+  void generate_commune(const geo::Commune& commune, TrafficSink& sink,
+                        RowScratch& scratch) const;
 
   const geo::Territory& territory_;
   const workload::SubscriberBase& subscribers_;

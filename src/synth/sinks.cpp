@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "la/simd.hpp"
 #include "util/error.hpp"
 
 namespace appscope::synth {
@@ -11,6 +12,23 @@ constexpr std::size_t dir_index(workload::Direction d) noexcept {
   return static_cast<std::size_t>(d);
 }
 }  // namespace
+
+// --- TrafficSink ----------------------------------------------------------------
+
+void TrafficSink::consume_row(const TrafficRow& row) {
+  APPSCOPE_DCHECK(row.downlink_bytes.size() == row.uplink_bytes.size(),
+                  "TrafficSink: ragged row");
+  TrafficCell cell;
+  cell.service = row.service;
+  cell.commune = row.commune;
+  cell.urbanization = row.urbanization;
+  for (std::size_t h = 0; h < row.downlink_bytes.size(); ++h) {
+    cell.week_hour = h;
+    cell.downlink_bytes = row.downlink_bytes[h];
+    cell.uplink_bytes = row.uplink_bytes[h];
+    consume(cell);
+  }
+}
 
 // --- NationalSeriesSink -----------------------------------------------------
 
@@ -27,6 +45,19 @@ void NationalSeriesSink::consume(const TrafficCell& cell) {
                   "NationalSeriesSink: cell out of range");
   data_[cell.service][0][cell.week_hour] += cell.downlink_bytes;
   data_[cell.service][1][cell.week_hour] += cell.uplink_bytes;
+}
+
+void NationalSeriesSink::consume_row(const TrafficRow& row) {
+  APPSCOPE_DCHECK(row.service < services_ &&
+                      row.downlink_bytes.size() == ts::kHoursPerWeek &&
+                      row.uplink_bytes.size() == ts::kHoursPerWeek,
+                  "NationalSeriesSink: row out of range");
+  auto& per_service = data_[row.service];
+  const la::simd::Kernels& kernels = la::simd::active();
+  kernels.accumulate(per_service[0].data(), row.downlink_bytes.data(),
+                     ts::kHoursPerWeek);
+  kernels.accumulate(per_service[1].data(), row.uplink_bytes.data(),
+                     ts::kHoursPerWeek);
 }
 
 const std::vector<double>& NationalSeriesSink::series(
@@ -83,6 +114,20 @@ void CommuneTotalsSink::consume(const TrafficCell& cell) {
   const std::size_t i = cell.service * communes_ + cell.commune;
   data_[0][i] += cell.downlink_bytes;
   data_[1][i] += cell.uplink_bytes;
+}
+
+void CommuneTotalsSink::consume_row(const TrafficRow& row) {
+  APPSCOPE_DCHECK(row.service < services_ && row.commune < communes_,
+                  "CommuneTotalsSink: row out of range");
+  const std::size_t i = row.service * communes_ + row.commune;
+  // Sequential reductions into a single total: scalar, hour-ascending,
+  // exactly the adds the cell path performs.
+  double dl = data_[0][i];
+  for (const double v : row.downlink_bytes) dl += v;
+  data_[0][i] = dl;
+  double ul = data_[1][i];
+  for (const double v : row.uplink_bytes) ul += v;
+  data_[1][i] = ul;
 }
 
 double CommuneTotalsSink::total(workload::ServiceIndex service,
@@ -144,6 +189,19 @@ void UrbanizationSeriesSink::consume(const TrafficCell& cell) {
   per_class[1][cell.week_hour] += cell.uplink_bytes;
 }
 
+void UrbanizationSeriesSink::consume_row(const TrafficRow& row) {
+  APPSCOPE_DCHECK(row.service < services_ &&
+                      row.downlink_bytes.size() == ts::kHoursPerWeek &&
+                      row.uplink_bytes.size() == ts::kHoursPerWeek,
+                  "UrbanizationSeriesSink: row out of range");
+  auto& per_class = data_[row.service][static_cast<std::size_t>(row.urbanization)];
+  const la::simd::Kernels& kernels = la::simd::active();
+  kernels.accumulate(per_class[0].data(), row.downlink_bytes.data(),
+                     ts::kHoursPerWeek);
+  kernels.accumulate(per_class[1].data(), row.uplink_bytes.data(),
+                     ts::kHoursPerWeek);
+}
+
 const std::vector<double>& UrbanizationSeriesSink::series(
     workload::ServiceIndex service, geo::Urbanization u,
     workload::Direction d) const {
@@ -190,6 +248,16 @@ void TotalsSink::consume(const TrafficCell& cell) {
   ++cells_;
 }
 
+void TotalsSink::consume_row(const TrafficRow& row) {
+  double dl = downlink_;
+  for (const double v : row.downlink_bytes) dl += v;
+  downlink_ = dl;
+  double ul = uplink_;
+  for (const double v : row.uplink_bytes) ul += v;
+  uplink_ = ul;
+  cells_ += row.downlink_bytes.size();
+}
+
 void TotalsSink::restore(double downlink, double uplink,
                          std::uint64_t cells) noexcept {
   downlink_ = downlink;
@@ -203,6 +271,54 @@ void BufferSink::replay_into(TrafficSink& sink) const {
   for (const TrafficCell& cell : cells_) sink.consume(cell);
 }
 
+// --- RowBufferSink ---------------------------------------------------------------
+
+void RowBufferSink::consume(const TrafficCell&) {
+  APPSCOPE_REQUIRE(false, "RowBufferSink: buffers rows, not cells");
+}
+
+void RowBufferSink::consume_row(const TrafficRow& row) {
+  APPSCOPE_DCHECK(row.downlink_bytes.size() == ts::kHoursPerWeek &&
+                      row.uplink_bytes.size() == ts::kHoursPerWeek,
+                  "RowBufferSink: row must span a full week");
+  headers_.push_back({row.service, row.commune, row.urbanization});
+  downlink_.insert(downlink_.end(), row.downlink_bytes.begin(),
+                   row.downlink_bytes.end());
+  uplink_.insert(uplink_.end(), row.uplink_bytes.begin(),
+                 row.uplink_bytes.end());
+}
+
+void RowBufferSink::reserve(std::size_t rows) {
+  headers_.reserve(rows);
+  downlink_.reserve(rows * ts::kHoursPerWeek);
+  uplink_.reserve(rows * ts::kHoursPerWeek);
+}
+
+std::size_t RowBufferSink::buffered_bytes() const noexcept {
+  return headers_.size() * sizeof(Header) +
+         (downlink_.size() + uplink_.size()) * sizeof(double);
+}
+
+void RowBufferSink::replay_into(TrafficSink& sink) const {
+  TrafficRow row;
+  for (std::size_t r = 0; r < headers_.size(); ++r) {
+    const Header& h = headers_[r];
+    row.service = h.service;
+    row.commune = h.commune;
+    row.urbanization = h.urbanization;
+    const std::size_t base = r * ts::kHoursPerWeek;
+    row.downlink_bytes = {downlink_.data() + base, ts::kHoursPerWeek};
+    row.uplink_bytes = {uplink_.data() + base, ts::kHoursPerWeek};
+    sink.consume_row(row);
+  }
+}
+
+void RowBufferSink::clear() noexcept {
+  headers_.clear();
+  downlink_.clear();
+  uplink_.clear();
+}
+
 // --- FanoutSink ------------------------------------------------------------------
 
 FanoutSink::FanoutSink(std::vector<TrafficSink*> sinks) : sinks_(std::move(sinks)) {
@@ -213,6 +329,10 @@ FanoutSink::FanoutSink(std::vector<TrafficSink*> sinks) : sinks_(std::move(sinks
 
 void FanoutSink::consume(const TrafficCell& cell) {
   for (TrafficSink* s : sinks_) s->consume(cell);
+}
+
+void FanoutSink::consume_row(const TrafficRow& row) {
+  for (TrafficSink* s : sinks_) s->consume_row(row);
 }
 
 }  // namespace appscope::synth

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "geo/commune.hpp"
+#include "la/aligned.hpp"
 #include "ts/time_series.hpp"
 #include "workload/service.hpp"
 
@@ -28,11 +29,33 @@ struct TrafficCell {
   double uplink_bytes = 0.0;
 };
 
+/// One generated traffic row: a full week of one service in one commune,
+/// both directions. The analytic generator emits rows (its hot loop fills
+/// the two hourly arrays with one SIMD-dispatched product each) and the
+/// aggregation sinks fold whole rows at a time; `consume(cell)` remains for
+/// cell-granular producers such as the event-level simulator.
+struct TrafficRow {
+  workload::ServiceIndex service = 0;
+  geo::CommuneId commune = 0;
+  geo::Urbanization urbanization = geo::Urbanization::kRural;
+  /// Hourly volumes, ts::kHoursPerWeek entries each (index = week hour).
+  std::span<const double> downlink_bytes;
+  std::span<const double> uplink_bytes;
+};
+
 /// Interface implemented by every aggregate builder.
 class TrafficSink {
  public:
   virtual ~TrafficSink() = default;
   virtual void consume(const TrafficCell& cell) = 0;
+
+  /// Consumes a whole-week row. The default expands the row into per-hour
+  /// cells and feeds them to consume() in hour order, so sinks that only
+  /// implement the cell interface observe exactly the stream the cell-level
+  /// generator produced; the aggregate sinks override this with row-at-a-
+  /// time folds that accumulate the same bits without the per-cell virtual
+  /// dispatch.
+  virtual void consume_row(const TrafficRow& row);
 };
 
 /// Nationwide hourly series per service and direction (Figs. 4-7).
@@ -40,6 +63,9 @@ class NationalSeriesSink final : public TrafficSink {
  public:
   explicit NationalSeriesSink(std::size_t service_count);
   void consume(const TrafficCell& cell) override;
+  /// Row fold: each hour is a distinct accumulator, so the elementwise
+  /// accumulate kernel reproduces the per-cell bits exactly.
+  void consume_row(const TrafficRow& row) override;
 
   /// Weekly series of one service in one direction.
   const std::vector<double>& series(workload::ServiceIndex service,
@@ -65,6 +91,10 @@ class CommuneTotalsSink final : public TrafficSink {
  public:
   CommuneTotalsSink(std::size_t service_count, std::size_t commune_count);
   void consume(const TrafficCell& cell) override;
+  /// Row fold: all 168 hours of a row land in the same two totals, so the
+  /// adds stay scalar and hour-ascending to keep the accumulation order —
+  /// and with it the bits — of the cell path.
+  void consume_row(const TrafficRow& row) override;
 
   double total(workload::ServiceIndex service, geo::CommuneId commune,
                workload::Direction d) const;
@@ -91,6 +121,8 @@ class UrbanizationSeriesSink final : public TrafficSink {
  public:
   explicit UrbanizationSeriesSink(std::size_t service_count);
   void consume(const TrafficCell& cell) override;
+  /// Row fold via the accumulate kernel (one accumulator per hour).
+  void consume_row(const TrafficRow& row) override;
 
   const std::vector<double>& series(workload::ServiceIndex service,
                                     geo::Urbanization u,
@@ -113,6 +145,9 @@ class UrbanizationSeriesSink final : public TrafficSink {
 class TotalsSink final : public TrafficSink {
  public:
   void consume(const TrafficCell& cell) override;
+  /// Row fold: scalar hour-ascending adds into the two running totals
+  /// (sequential reduction — must match the cell path's order exactly).
+  void consume_row(const TrafficRow& row) override;
 
   double downlink() const noexcept { return downlink_; }
   double uplink() const noexcept { return uplink_; }
@@ -128,11 +163,10 @@ class TotalsSink final : public TrafficSink {
   std::uint64_t cells_ = 0;
 };
 
-/// Buffers cells verbatim for deferred replay. This is the thread-local
-/// staging area of the parallel generator: each worker streams its commune
-/// shard into a private BufferSink, and the buffers are replayed into the
-/// caller's sink in shard order, so the downstream sink observes exactly
-/// the cell sequence the serial generator would have produced.
+/// Buffers cells verbatim for deferred replay (tests and cell-granular
+/// producers; the parallel generator stages rows in a RowBufferSink
+/// instead). Rows arriving through the default consume_row expansion are
+/// buffered as their per-hour cells.
 class BufferSink final : public TrafficSink {
  public:
   void consume(const TrafficCell& cell) override { cells_.push_back(cell); }
@@ -150,11 +184,48 @@ class BufferSink final : public TrafficSink {
   std::vector<TrafficCell> cells_;
 };
 
-/// Broadcasts each cell to several sinks (non-owning).
+/// Buffers whole rows for deferred replay. This is the thread-local staging
+/// area of the parallel generator: each worker streams its commune shard's
+/// rows into a private RowBufferSink (headers plus two flat cache-line-
+/// aligned hourly planes — no per-row allocations), and the buffers are
+/// replayed into the caller's sink in shard order via consume_row, so the
+/// downstream sink observes exactly the row sequence the serial generator
+/// would have produced.
+class RowBufferSink final : public TrafficSink {
+ public:
+  /// Row-only staging: the generator never produces loose cells
+  /// (PreconditionError if called).
+  void consume(const TrafficCell& cell) override;
+  void consume_row(const TrafficRow& row) override;
+
+  void reserve(std::size_t rows);
+  std::size_t row_count() const noexcept { return headers_.size(); }
+  /// Bytes currently held by the row buffers (headers + hourly planes).
+  std::size_t buffered_bytes() const noexcept;
+
+  /// Feeds every buffered row into `sink`, in insertion order.
+  void replay_into(TrafficSink& sink) const;
+
+  void clear() noexcept;
+
+ private:
+  struct Header {
+    workload::ServiceIndex service;
+    geo::CommuneId commune;
+    geo::Urbanization urbanization;
+  };
+  std::vector<Header> headers_;
+  /// row_count() * ts::kHoursPerWeek hourly volumes, row-major.
+  la::AlignedVector<double> downlink_;
+  la::AlignedVector<double> uplink_;
+};
+
+/// Broadcasts each cell (or row) to several sinks (non-owning).
 class FanoutSink final : public TrafficSink {
  public:
   explicit FanoutSink(std::vector<TrafficSink*> sinks);
   void consume(const TrafficCell& cell) override;
+  void consume_row(const TrafficRow& row) override;
 
  private:
   std::vector<TrafficSink*> sinks_;

@@ -30,23 +30,26 @@ std::vector<std::size_t> KShapeResult::members(std::size_t c) const {
 namespace {
 
 /// Eigen-decomposition core of shape extraction, shared by the public
-/// per-pair entry point and the k-Shape batch path; `aligned_member(i)`
-/// yields member i already aligned to the reference (both paths produce
-/// bit-identical alignments, so the extracted shapes agree bitwise too).
+/// per-pair entry point and the k-Shape batch path; `aligned_member(i, buf)`
+/// writes member i into `buf` already aligned to the reference (both paths
+/// produce bit-identical alignments, so the extracted shapes agree bitwise
+/// too). One buffer is reused across all members — no per-member
+/// allocations in the extraction loop.
 template <typename AlignedFn>
 std::vector<double> shape_extract_core(std::size_t member_count, std::size_t n,
                                        std::span<const double> probe,
                                        AlignedFn&& aligned_member) {
   la::Matrix s(n, n);
+  std::vector<double> aligned;
   for (std::size_t mi = 0; mi < member_count; ++mi) {
-    std::vector<double> aligned = aligned_member(mi);
+    aligned_member(mi, aligned);
     znormalize_inplace(aligned);
-    // S += aligned alignedᵀ (accumulate symmetric rank-1 update).
+    // S += aligned alignedᵀ (accumulate symmetric rank-1 update); each row
+    // update is an elementwise axpy, which dispatches to la::simd.
     for (std::size_t i = 0; i < n; ++i) {
       const double ai = aligned[i];
       if (ai == 0.0) continue;
-      double* row = &s(i, 0);
-      for (std::size_t j = 0; j < n; ++j) row[j] += ai * aligned[j];
+      la::axpy(ai, aligned, std::span<double>(&s(i, 0), n));
     }
   }
 
@@ -112,11 +115,14 @@ std::vector<double> shape_extract_batch(const SeriesBatch& data,
   const bool have_reference = centroids.norm(c) > 0.0;
   return shape_extract_core(
       member_idx.size(), n, data.series(member_idx.front()),
-      [&](std::size_t mi) {
+      [&](std::size_t mi, std::vector<double>& buf) {
         const std::span<const double> member = data.series(member_idx[mi]);
-        if (!have_reference) return std::vector<double>(member.begin(), member.end());
+        if (!have_reference) {
+          buf.assign(member.begin(), member.end());
+          return;
+        }
         const SbdResult r = sbd_pair(centroids, c, data, member_idx[mi], scratch);
-        return shift_series(member, r.shift);
+        shift_series_into(member, r.shift, buf);
       });
 }
 
@@ -138,10 +144,13 @@ std::vector<double> shape_extract(const std::vector<std::vector<double>>& member
   // shape extraction assumes zero-mean unit-variance rows.
   return shape_extract_core(
       members.size(), n, std::span<const double>(members.front()),
-      [&](std::size_t mi) {
-        return have_reference
-                   ? align_to(reference, members[mi])
-                   : std::vector<double>(members[mi].begin(), members[mi].end());
+      [&](std::size_t mi, std::vector<double>& buf) {
+        if (have_reference) {
+          const SbdResult r = sbd(reference, members[mi]);
+          shift_series_into(members[mi], r.shift, buf);
+        } else {
+          buf.assign(members[mi].begin(), members[mi].end());
+        }
       });
 }
 

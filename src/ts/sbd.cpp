@@ -39,14 +39,20 @@ double sbd_distance(std::span<const double> x, std::span<const double> y) {
   return sbd(x, y).distance;
 }
 
-std::vector<double> shift_series(std::span<const double> y, std::ptrdiff_t shift) {
+void shift_series_into(std::span<const double> y, std::ptrdiff_t shift,
+                       std::vector<double>& out) {
   const auto m = static_cast<std::ptrdiff_t>(y.size());
   APPSCOPE_REQUIRE(shift > -m && shift < m, "shift_series: |shift| must be < length");
-  std::vector<double> out(y.size(), 0.0);
+  out.assign(y.size(), 0.0);
   for (std::ptrdiff_t i = 0; i < m; ++i) {
     const std::ptrdiff_t j = i - shift;  // out[i] = y[i - shift]
     if (j >= 0 && j < m) out[static_cast<std::size_t>(i)] = y[static_cast<std::size_t>(j)];
   }
+}
+
+std::vector<double> shift_series(std::span<const double> y, std::ptrdiff_t shift) {
+  std::vector<double> out;
+  shift_series_into(y, shift, out);
   return out;
 }
 

@@ -41,6 +41,12 @@ double sbd_distance(std::span<const double> x, std::span<const double> y);
 /// alignment step applied before shape extraction.
 std::vector<double> shift_series(std::span<const double> y, std::ptrdiff_t shift);
 
+/// Allocation-free variant: writes the shifted series into `out` (resized
+/// to y.size(), reusing capacity) — for alignment loops that shift into the
+/// same buffer repeatedly.
+void shift_series_into(std::span<const double> y, std::ptrdiff_t shift,
+                       std::vector<double>& out);
+
 /// Aligns y against reference x: computes sbd(x, y) and returns y shifted by
 /// the optimal shift.
 std::vector<double> align_to(std::span<const double> x, std::span<const double> y);

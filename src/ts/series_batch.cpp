@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "la/fft.hpp"
+#include "la/simd.hpp"
 #include "la/vector_ops.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
@@ -21,8 +22,9 @@ namespace {
 
 /// Grows a scratch buffer (never shrinks — callers slice the prefix they
 /// need), recording new capacity under ts.sbd.scratch_bytes.
-template <typename T>
-void grow(std::vector<T>& v, std::size_t n) {
+template <typename V>
+void grow(V& v, std::size_t n) {
+  using T = typename V::value_type;
   if (v.size() >= n) return;
   const std::size_t old_cap = v.capacity();
   v.resize(n);
@@ -31,6 +33,29 @@ void grow(std::vector<T>& v, std::size_t n) {
         "ts.sbd.scratch_bytes",
         static_cast<std::uint64_t>((v.capacity() - old_cap) * sizeof(T)));
   }
+}
+
+/// Completes the first-max-wins scan over a contiguous value range laid out
+/// in scan order: (max value, first attaining index, the element itself).
+/// Equivalent to `if (v > best) ...` per element: max_value() ignores NaNs
+/// exactly like `>` does, ties at +/-0.0 compare == so the first attaining
+/// index matches, and re-reading the element reproduces its zero sign.
+struct ScanHit {
+  bool found;
+  std::size_t index;
+  double value;
+};
+
+ScanHit scan_max(const la::simd::Kernels& kernels, const double* values,
+                 std::size_t n) {
+  const double best = kernels.max_value(values, n);
+  if (best == -std::numeric_limits<double>::infinity()) {
+    // Empty, all-NaN, or a -inf maximum: the scalar scan would never have
+    // updated its running best past -inf (`-inf > -inf` is false).
+    return {false, 0, best};
+  }
+  const std::size_t i = kernels.find_first_equal(values, n, best);
+  return {true, i, values[i]};
 }
 
 }  // namespace
@@ -47,12 +72,14 @@ SeriesBatch::SeriesBatch(const std::vector<std::vector<double>>& series)
     padded_ = la::next_pow2(2 * length_ - 1);
     spec_stride_ = padded_ / 2 + 1;
   }
-  values_.resize(count_ * length_);
+  row_pitch_ = la::padded_count<double>(length_);
+  spec_pitch_ = la::padded_count<std::complex<double>>(spec_stride_);
+  values_.resize(count_ * row_pitch_);
   norms_.resize(count_);
-  spectra_.resize(count_ * spec_stride_);
+  spectra_.resize(count_ * spec_pitch_);
   for (std::size_t i = 0; i < count_; ++i) {
     std::copy(series[i].begin(), series[i].end(),
-              values_.begin() + static_cast<std::ptrdiff_t>(i * length_));
+              values_.begin() + static_cast<std::ptrdiff_t>(i * row_pitch_));
   }
   // Per-row norm + forward transform; rows are independent, so precompute in
   // parallel (results thread-count invariant).
@@ -79,18 +106,20 @@ SeriesBatch::SeriesBatch(std::size_t count, std::size_t length)
     padded_ = la::next_pow2(2 * length_ - 1);
     spec_stride_ = padded_ / 2 + 1;
   }
+  row_pitch_ = la::padded_count<double>(length_);
+  spec_pitch_ = la::padded_count<std::complex<double>>(spec_stride_);
   // All-zero rows: norms 0, spectra 0 — never read, because the SBD kernel
   // returns early on a zero norm.
-  values_.resize(count_ * length_, 0.0);
+  values_.resize(count_ * row_pitch_, 0.0);
   norms_.resize(count_, 0.0);
-  spectra_.resize(count_ * spec_stride_);
+  spectra_.resize(count_ * spec_pitch_);
 }
 
 void SeriesBatch::set_series(std::size_t i, std::span<const double> values) {
   APPSCOPE_REQUIRE(i < count_, "SeriesBatch: row out of range");
   APPSCOPE_REQUIRE(values.size() == length_, "SeriesBatch: length mismatch");
   std::copy(values.begin(), values.end(),
-            values_.begin() + static_cast<std::ptrdiff_t>(i * length_));
+            values_.begin() + static_cast<std::ptrdiff_t>(i * row_pitch_));
   refresh_row(i);
 }
 
@@ -99,7 +128,7 @@ void SeriesBatch::refresh_row(std::size_t i) {
   norms_[i] = la::norm2(row);
   if (padded_ != 0) {
     const la::RealFftPlan& plan = la::RealFftPlan::plan_for(padded_);
-    plan.forward(row, {spectra_.data() + i * spec_stride_, spec_stride_});
+    plan.forward(row, {spectra_.data() + i * spec_pitch_, spec_stride_});
   }
 }
 
@@ -133,9 +162,12 @@ SbdResult sbd_spans(std::span<const double> x, double norm_x,
   const std::size_t out_len = 2 * m - 1;
   std::size_t best_k = 0;
   double best_v = -std::numeric_limits<double>::infinity();
+  const la::simd::Kernels& kernels = la::simd::active();
 
   if (!sbd_uses_spectral(m)) {
     // Direct evaluation, same arithmetic as la::cross_correlation_direct.
+    // The per-lag dot products are sequential reductions and stay scalar
+    // (vectorizing them would reorder the additions and change bits).
     grow(scratch.corr, out_len);
     double* corr = scratch.corr.data();
     for (std::size_t k = 0; k < out_len; ++k) {
@@ -150,11 +182,10 @@ SbdResult sbd_spans(std::span<const double> x, double norm_x,
       }
       corr[k] = acc;
     }
-    for (std::size_t k = 0; k < out_len; ++k) {
-      if (corr[k] > best_v) {
-        best_v = corr[k];
-        best_k = k;
-      }
+    const ScanHit hit = scan_max(kernels, corr, out_len);
+    if (hit.found) {
+      best_k = hit.index;
+      best_v = hit.value;
     }
   } else {
     // Spectral path: conjugate product of the two spectra + one inverse
@@ -178,25 +209,27 @@ SbdResult sbd_spans(std::span<const double> x, double norm_x,
     grow(scratch.product, sp);
     grow(scratch.corr, n);
     std::complex<double>* product = scratch.product.data();
-    for (std::size_t i = 0; i < sp; ++i) {
-      const double ar = fx[i].real();
-      const double ai = fx[i].imag();
-      const double br = fy[i].real();
-      const double bi = fy[i].imag();
-      product[i] = {ar * br + ai * bi, ai * br - ar * bi};
-    }
+    kernels.conj_multiply(fx.data(), fy.data(), product, sp);
     plan.inverse({product, sp}, {scratch.corr.data(), n});
     // The circular correlation holds lag s at index s (s >= 0) or n + s
-    // (s < 0); scan in the same k order as the direct layout so tie-breaks
-    // (first max wins) match.
+    // (s < 0), so the direct layout's k order maps to two contiguous
+    // ranges: corr[n - base, n) for k in [0, base), then corr[0, m) for
+    // k in [base, out_len). Scan each with the vector kernels; preferring
+    // the first range on a tie reproduces the first-max-wins k order.
     const double* corr = scratch.corr.data();
-    for (std::size_t k = 0; k < out_len; ++k) {
-      const std::ptrdiff_t s = static_cast<std::ptrdiff_t>(k) - base;
-      const double v = corr[s >= 0 ? static_cast<std::size_t>(s)
-                                   : n - static_cast<std::size_t>(-s)];
-      if (v > best_v) {
-        best_v = v;
-        best_k = k;
+    const std::size_t neg = static_cast<std::size_t>(base);  // negative lags
+    const double max_neg = kernels.max_value(corr + (n - neg), neg);
+    const double max_pos = kernels.max_value(corr, m);
+    const double best = max_pos > max_neg ? max_pos : max_neg;
+    if (best != -std::numeric_limits<double>::infinity()) {
+      const std::size_t i1 = kernels.find_first_equal(corr + (n - neg), neg, best);
+      if (i1 < neg) {
+        best_k = i1;
+        best_v = corr[n - neg + i1];
+      } else {
+        const std::size_t i2 = kernels.find_first_equal(corr, m, best);
+        best_k = neg + i2;
+        best_v = corr[i2];
       }
     }
   }

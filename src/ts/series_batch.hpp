@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "la/aligned.hpp"
 #include "la/fft_plan.hpp"
 #include "ts/distance_matrix.hpp"
 #include "ts/sbd.hpp"
@@ -67,13 +68,13 @@ class SeriesBatch {
   bool spectral() const noexcept { return padded_ != 0; }
 
   std::span<const double> series(std::size_t i) const noexcept {
-    return {values_.data() + i * length_, length_};
+    return {values_.data() + i * row_pitch_, length_};
   }
   double norm(std::size_t i) const noexcept { return norms_[i]; }
   /// Cached forward spectrum of row i (padded_size()/2 + 1 bins). Only valid
   /// when spectral().
   std::span<const std::complex<double>> spectrum(std::size_t i) const noexcept {
-    return {spectra_.data() + i * spec_stride_, spec_stride_};
+    return {spectra_.data() + i * spec_pitch_, spec_stride_};
   }
 
   /// Overwrites row i with `values` (must match length()) and refreshes its
@@ -87,20 +88,27 @@ class SeriesBatch {
   std::size_t length_ = 0;
   std::size_t padded_ = 0;       // 0 => direct path, no spectra
   std::size_t spec_stride_ = 0;  // padded_ / 2 + 1 when spectral
-  std::vector<double> values_;   // count_ x length_
-  std::vector<double> norms_;    // count_
-  std::vector<std::complex<double>> spectra_;  // count_ x spec_stride_
+  // Physical row pitches: logical extents rounded up to whole cache lines
+  // so every row starts 64-byte aligned (padding stays zero, never read).
+  std::size_t row_pitch_ = 0;    // >= length_
+  std::size_t spec_pitch_ = 0;   // >= spec_stride_
+  la::AlignedVector<double> values_;  // count_ x row_pitch_
+  std::vector<double> norms_;         // count_
+  la::AlignedVector<std::complex<double>> spectra_;  // count_ x spec_pitch_
 };
 
 /// Per-worker scratch for the SBD kernel. Buffers grow to the working size
 /// on first use and are reused (fully overwritten) on every call — zero
-/// allocations in steady state. Growth is recorded under
-/// ts.sbd.scratch_bytes when metrics are enabled.
+/// allocations in steady state, across matrix sizes (a larger problem grows
+/// the buffers once; smaller ones slice prefixes). Growth is recorded under
+/// ts.sbd.scratch_bytes when metrics are enabled. Buffers are cache-line
+/// aligned: the SIMD kernels stream through them, and distinct workers'
+/// scratch never shares a line.
 struct SbdScratch {
-  std::vector<std::complex<double>> spec_x;   // fresh spectrum (unbatched x)
-  std::vector<std::complex<double>> spec_y;   // fresh spectrum (unbatched y)
-  std::vector<std::complex<double>> product;  // X . conj(Y), consumed by irfft
-  std::vector<double> corr;                   // correlation output
+  la::AlignedVector<std::complex<double>> spec_x;  // fresh spectrum (x)
+  la::AlignedVector<std::complex<double>> spec_y;  // fresh spectrum (y)
+  la::AlignedVector<std::complex<double>> product;  // X . conj(Y) -> irfft
+  la::AlignedVector<double> corr;                   // correlation output
 };
 
 /// Thread-local scratch instance — callers on pool workers each get their

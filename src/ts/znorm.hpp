@@ -19,6 +19,11 @@ std::vector<double> znormalize(std::span<const double> x);
 /// In-place variant.
 void znormalize_inplace(std::span<double> x) noexcept;
 
+/// Writes the normalized copy into `out` (resized to x.size()), reusing
+/// out's existing capacity — the allocation-free variant for loops that
+/// normalize into the same buffer repeatedly.
+void znormalize_into(std::span<const double> x, std::vector<double>& out);
+
 /// TimeSeries convenience overload (label preserved).
 TimeSeries znormalize(const TimeSeries& x);
 

@@ -114,7 +114,10 @@ struct MetricsRegistry::Cell {
 /// thread (lock-free lookups); `mutex` serializes cell allocation against
 /// scrape/reset iteration. std::deque keeps cell addresses stable, so
 /// cached pointers and the lock-free fast path survive growth.
-struct MetricsRegistry::Shard {
+/// Cache-line aligned so two threads' shards never share a line: the hot
+/// path is one atomic RMW per record, and cross-shard false sharing would
+/// put that RMW in contention even though the shards are logically private.
+struct alignas(64) MetricsRegistry::Shard {
   std::mutex mutex;
   std::deque<Cell> cells;
   std::unordered_map<std::string, Cell*, SvHash, SvEq> index;

@@ -54,7 +54,9 @@ SpanContextScope::SpanContextScope(SpanContext ctx) noexcept
 
 SpanContextScope::~SpanContextScope() { t_span_ctx = saved_; }
 
-struct TraceRecorder::Shard {
+/// Cache-line aligned so concurrently-recording threads' shards never
+/// share a line (the record fast path mutates events/dropped every span).
+struct alignas(64) TraceRecorder::Shard {
   std::mutex mutex;  // guards events/dropped against concurrent snapshot
   std::uint32_t thread_index = 0;
   std::deque<TraceEvent> events;

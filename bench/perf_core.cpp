@@ -16,6 +16,10 @@
 #include "bench_common.hpp"
 #include "core/dataset.hpp"
 #include "la/aligned.hpp"
+#include "net/event.hpp"
+#include "serve/aggregates.hpp"
+#include "serve/ingest.hpp"
+#include "synth/replay.hpp"
 #include "la/fft.hpp"
 #include "la/fft_plan.hpp"
 #include "la/simd.hpp"
@@ -460,6 +464,42 @@ void BM_ScopedSpanEnabled(benchmark::State& state) {
   util::MetricsRegistry::set_enabled(was_enabled);
 }
 BENCHMARK(BM_ScopedSpanEnabled);
+
+// Streaming ingest throughput (src/serve): route one staged synthetic week
+// through the sharded lock-free ingest plane and collect the epoch. This is
+// the acceptance benchmark of the appscope_serve daemon — it must sustain
+// >= 2M events/sec single-box (tracked in BENCH_core.json; CI fails on >25%
+// regression).
+void BM_IngestEvents(benchmark::State& state) {
+  const auto config = synth::ScenarioConfig::test_scale();
+  const geo::Territory territory = geo::build_synthetic_country(config.country);
+  const workload::SubscriberBase subscribers(territory, config.population);
+  const workload::ServiceCatalog catalog =
+      workload::ServiceCatalog::paper_services();
+  const synth::EventReplaySource replay(territory, subscribers, catalog,
+                                        config);
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  serve::ShardedIngest ingest(catalog.size(), territory.size(),
+                              {shards, 1 << 16});
+  serve::EventAggregates rolling(catalog.size(), territory.size());
+  for (auto _ : state) {
+    for (const net::ServiceEvent& event : replay.events()) {
+      ingest.route(event, 1);
+    }
+    ingest.collect_epoch(rolling);
+    benchmark::DoNotOptimize(rolling.events());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(replay.week_event_count()));
+  ingest.stop();
+}
+BENCHMARK(BM_IngestEvents)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 // Console reporter that also collects per-benchmark real time (normalized
 // to nanoseconds, independent of each benchmark's display unit) for the

@@ -11,6 +11,10 @@
 #              validates (scripts/trace_summary.py), the critical path covers
 #              >=90% of the run, and the report is byte-identical to an
 #              untraced run (also enabled by APPSCOPE_TRACE_CHECK=1)
+#   --serve    run the appscope_serve ingest daemon for a short soak,
+#              assert the metrics JSON (net.ingested, net.sampled,
+#              serve.queue.depth) and that the sealed epoch snapshot loads
+#              through paper_report (also enabled by APPSCOPE_SERVE_CHECK=1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,12 +23,14 @@ BUILD_DIR="${BUILD_DIR:-build-check}"
 RUN_TSAN="${APPSCOPE_TSAN:-0}"
 RUN_METRICS="${APPSCOPE_METRICS_CHECK:-0}"
 RUN_TRACE="${APPSCOPE_TRACE_CHECK:-0}"
+RUN_SERVE="${APPSCOPE_SERVE_CHECK:-0}"
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
     --metrics) RUN_METRICS=1 ;;
     --trace) RUN_TRACE=1 ;;
-    *) echo "usage: $0 [--tsan] [--metrics] [--trace]" >&2; exit 2 ;;
+    --serve) RUN_SERVE=1 ;;
+    *) echo "usage: $0 [--tsan] [--metrics] [--trace] [--serve]" >&2; exit 2 ;;
   esac
 done
 
@@ -117,6 +123,47 @@ if [ "$RUN_TRACE" != "0" ]; then
     grep -q '"core.run_study"' "$TRACE_FILE"
     echo "trace OK (grep validation; python3 unavailable)"
   fi
+fi
+
+# Serving check (--serve): replay one full synthetic week through the
+# appscope_serve ingest daemon (unthrottled, so this takes ~a second),
+# assert the metrics document carries the ingest counters and the
+# queue-depth histogram, and that the sealed epoch snapshot loads into the
+# offline study via paper_report.
+if [ "$RUN_SERVE" != "0" ]; then
+  echo "==== appscope_serve soak validation"
+  SERVE_DIR="$BUILD_DIR/serve-check"
+  SERVE_METRICS="$BUILD_DIR/serve-metrics.json"
+  rm -rf "$SERVE_DIR" "$SERVE_METRICS"
+  APPSCOPE_METRICS=1 APPSCOPE_METRICS_PATH="$SERVE_METRICS" \
+    "$BUILD_DIR"/src/serve/appscope_serve \
+    --scale=test --weeks=1 --epoch-seconds=21600 \
+    --snapshot-dir="$SERVE_DIR" 2> /dev/null
+  if [ ! -s "$SERVE_METRICS" ] || [ ! -s "$SERVE_DIR/latest.snapshot" ]; then
+    echo "FAIL: serve metrics or latest.snapshot missing" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$SERVE_METRICS" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+counters = doc["counters"]
+assert counters.get("net.ingested", 0) > 0, counters
+assert "net.sampled" in counters, sorted(counters)
+assert counters.get("serve.epochs.sealed", 0) > 0, counters
+assert doc["histograms"].get("serve.queue.depth", {}).get("count", 0) > 0
+print(f"serve OK: ingested {counters['net.ingested']}, "
+      f"sampled {counters['net.sampled']}, "
+      f"epochs {counters['serve.epochs.sealed']}")
+PY
+  else
+    grep -q '"net.ingested"' "$SERVE_METRICS"
+    grep -q '"net.sampled"' "$SERVE_METRICS"
+    echo "serve metrics OK (grep validation; python3 unavailable)"
+  fi
+  "$BUILD_DIR"/examples/paper_report --scale=test \
+    --snapshot="$SERVE_DIR/latest.snapshot" > /dev/null 2>&1
+  echo "serve sealed snapshot loads through paper_report"
 fi
 
 # Optional ThreadSanitizer pass over the parallel/determinism tests

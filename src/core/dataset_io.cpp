@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 #include <ostream>
+#include <system_error>
 
 #include "io/serialize.hpp"
 #include "io/snapshot.hpp"
@@ -147,6 +148,37 @@ TrafficDataset load_or_generate_snapshot(const synth::ScenarioConfig& config,
   TrafficDataset dataset = TrafficDataset::generate(config);
   dataset.save(path);
   return dataset;
+}
+
+std::string find_latest_snapshot(const std::string& directory) {
+  namespace fs = std::filesystem;
+  const fs::path dir(directory);
+  const fs::path latest = dir / "latest.snapshot";
+  std::error_code ec;
+  if (fs::exists(latest, ec)) return latest.string();
+
+  // No latest.snapshot (sealing interrupted between the epoch rename and
+  // the republish): fall back to the highest-numbered sealed epoch.
+  std::string best;
+  std::string best_name;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("epoch_") || !name.ends_with(".snapshot")) continue;
+    // Zero-padded indices make lexicographic order the numeric order.
+    if (best_name.empty() || name > best_name) {
+      best_name = name;
+      best = entry.path().string();
+    }
+  }
+  return best;
+}
+
+TrafficDataset load_epoch_snapshot(const std::string& directory) {
+  const std::string path = find_latest_snapshot(directory);
+  if (path.empty()) {
+    throw util::InputError("load_epoch_snapshot: no snapshot in " + directory);
+  }
+  return TrafficDataset::load(path);
 }
 
 }  // namespace appscope::core

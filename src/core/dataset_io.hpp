@@ -56,4 +56,13 @@ std::vector<CommuneTotalsRow> read_commune_totals_csv(std::string_view text);
 TrafficDataset load_or_generate_snapshot(const synth::ScenarioConfig& config,
                                          const std::string& path);
 
+/// Most recent complete snapshot in a directory the appscope_serve daemon
+/// seals epochs into: `latest.snapshot` when present, otherwise the
+/// epoch_<index>.snapshot with the highest index, otherwise "".
+std::string find_latest_snapshot(const std::string& directory);
+
+/// Loads the most recent sealed epoch from a daemon snapshot directory.
+/// Throws util::InputError when the directory holds no snapshot.
+TrafficDataset load_epoch_snapshot(const std::string& directory);
+
 }  // namespace appscope::core

@@ -1,0 +1,120 @@
+#include "net/event.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace appscope::net {
+namespace {
+
+// net sits below io in the dependency graph, so the frame codec carries its
+// own little-endian put/get helpers instead of using io::binary.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+[[noreturn]] void frame_error(const std::string& what) {
+  throw util::InputError("event frame: " + what);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_event_frame(
+    std::span<const ServiceEvent> events) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kEventFrameHeaderBytes + events.size() * kEventWireBytes);
+  put_u32(out, kEventFrameMagic);
+  put_u16(out, kEventFrameVersion);
+  put_u16(out, 0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(events.size()));
+  put_u32(out, 0);  // reserved
+  put_u64(out, 0);  // checksum placeholder, patched below
+  for (const ServiceEvent& e : events) {
+    put_u32(out, e.timestamp);
+    put_u32(out, e.commune);
+    put_u16(out, e.service);
+    out.push_back(e.urbanization);
+    out.push_back(e.flags);
+    put_u64(out, e.downlink_bytes);
+    put_u64(out, e.uplink_bytes);
+  }
+  const std::uint64_t checksum =
+      fnv1a64(out.data() + kEventFrameHeaderBytes,
+              out.size() - kEventFrameHeaderBytes);
+  for (int i = 0; i < 8; ++i) {
+    out[16 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(checksum >> (8 * i));
+  }
+  return out;
+}
+
+std::vector<ServiceEvent> decode_event_frame(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kEventFrameHeaderBytes) frame_error("truncated header");
+  const std::uint8_t* p = bytes.data();
+  if (get_u32(p) != kEventFrameMagic) frame_error("bad magic");
+  const std::uint16_t version = get_u16(p + 4);
+  if (version != kEventFrameVersion) {
+    frame_error("unsupported version " + std::to_string(version));
+  }
+  const std::uint32_t count = get_u32(p + 8);
+  const std::size_t payload = static_cast<std::size_t>(count) * kEventWireBytes;
+  if (bytes.size() != kEventFrameHeaderBytes + payload) {
+    frame_error(bytes.size() < kEventFrameHeaderBytes + payload
+                    ? "truncated payload"
+                    : "trailing bytes after payload");
+  }
+  const std::uint64_t stored_checksum = get_u64(p + 16);
+  if (fnv1a64(p + kEventFrameHeaderBytes, payload) != stored_checksum) {
+    frame_error("checksum mismatch");
+  }
+  std::vector<ServiceEvent> events(count);
+  const std::uint8_t* r = p + kEventFrameHeaderBytes;
+  for (ServiceEvent& e : events) {
+    e.timestamp = get_u32(r);
+    e.commune = get_u32(r + 4);
+    e.service = get_u16(r + 8);
+    e.urbanization = r[10];
+    e.flags = r[11];
+    e.downlink_bytes = get_u64(r + 12);
+    e.uplink_bytes = get_u64(r + 20);
+    r += kEventWireBytes;
+  }
+  return events;
+}
+
+}  // namespace appscope::net

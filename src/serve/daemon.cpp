@@ -1,0 +1,239 @@
+#include "serve/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "geo/territory.hpp"
+#include "net/types.hpp"
+#include "serve/epoch.hpp"
+#include "serve/ingest.hpp"
+#include "serve/online.hpp"
+#include "serve/sampler.hpp"
+#include "synth/replay.hpp"
+#include "ts/calendar.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+#include "workload/catalog.hpp"
+#include "workload/population.hpp"
+
+namespace appscope::serve {
+
+namespace {
+/// Router batch: events routed between pacing / metrics / stop-flag checks.
+constexpr std::size_t kBatchEvents = 4096;
+}  // namespace
+
+struct IngestDaemon::Impl {
+  explicit Impl(ServeConfig cfg)
+      : config(std::move(cfg)),
+        territory(geo::build_synthetic_country(config.scenario.country)),
+        subscribers(territory, config.scenario.population),
+        catalog(workload::ServiceCatalog::paper_services()),
+        replay(territory, subscribers, catalog, config.scenario,
+               config.events_per_cell) {
+    APPSCOPE_REQUIRE(config.shard_count >= 1,
+                     "IngestDaemon: shard_count must be >= 1");
+    APPSCOPE_REQUIRE(
+        config.epoch_seconds > 0 &&
+            config.epoch_seconds % net::kSecondsPerHour == 0,
+        "IngestDaemon: epoch_seconds must be a positive whole number of hours");
+    APPSCOPE_REQUIRE(config.weeks >= 1 || config.duration_seconds > 0.0,
+                     "IngestDaemon: nothing to replay");
+  }
+
+  ServeConfig config;
+  geo::Territory territory;
+  workload::SubscriberBase subscribers;
+  workload::ServiceCatalog catalog;
+  synth::EventReplaySource replay;
+  bool ran = false;
+};
+
+IngestDaemon::IngestDaemon(ServeConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+IngestDaemon::~IngestDaemon() = default;
+
+std::size_t IngestDaemon::week_event_count() const noexcept {
+  return impl_->replay.week_event_count();
+}
+
+ServeStats IngestDaemon::run() {
+  APPSCOPE_REQUIRE(!impl_->ran, "IngestDaemon::run: already ran");
+  impl_->ran = true;
+
+  util::ScopedSpan span("serve.run");
+  const ServeConfig& config = impl_->config;
+  const std::size_t services = impl_->catalog.size();
+  const std::size_t communes = impl_->territory.size();
+  const bool metrics_on = util::MetricsRegistry::enabled();
+  auto& registry = util::MetricsRegistry::global();
+  if (metrics_on) {
+    // Materialize the counters the soak validator asserts on, so they are
+    // present in the metrics JSON even when they stay zero.
+    registry.add("net.ingested", 0);
+    registry.add("net.sampled", 0);
+    registry.add("serve.overload.triggers", 0);
+  }
+
+  EventAggregates rolling(services, communes);
+  ShardedIngest ingest(services, communes,
+                       {config.shard_count, config.queue_capacity});
+  OverloadSampler sampler(config.sample_period, config.sample_window);
+  if (config.force_sampling) sampler.force_sampling();
+  synth::RatePacer pacer(config.target_events_per_second);
+
+  std::optional<EpochSealer> sealer;
+  if (!config.snapshot_dir.empty()) {
+    sealer.emplace(config.snapshot_dir, config.scenario, impl_->territory,
+                   impl_->subscribers, impl_->catalog);
+  }
+  OnlinePeakTracker peaks(services);
+  ZipfRankTracker zipf(services);
+
+  ServeStats stats;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto deadline =
+      config.duration_seconds > 0.0
+          ? wall_start + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(
+                                 config.duration_seconds))
+          : std::chrono::steady_clock::time_point::max();
+  const bool run_forever = config.duration_seconds > 0.0;
+
+  std::uint64_t sampled_reported = 0;  // net.sampled already flushed
+  std::uint64_t ingested_reported = 0;
+  std::uint64_t events_since_seal = 0;
+  std::uint64_t hours_replayed = 0;
+  bool stopping = false;
+
+  const auto should_stop = [&]() {
+    if (config.stop_flag != nullptr &&
+        config.stop_flag->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return run_forever && std::chrono::steady_clock::now() >= deadline;
+  };
+
+  const auto flush_batch_metrics = [&](std::uint64_t batch) {
+    pacer.await(batch);
+    if (!metrics_on) return;
+    registry.add("net.ingested", stats.ingested - ingested_reported);
+    registry.add("net.sampled", sampler.sampled() - sampled_reported);
+    ingested_reported = stats.ingested;
+    sampled_reported = sampler.sampled();
+    for (std::size_t s = 0; s < ingest.shard_count(); ++s) {
+      registry.observe("serve.queue.depth",
+                       static_cast<double>(ingest.queue_depth(s)));
+    }
+  };
+
+  // Trackers re-read the whole rolling state each epoch; until a full week
+  // has been replayed only a prefix of each weekly series has data.
+  const auto seal_epoch = [&](std::uint64_t index) {
+    ingest.collect_epoch(rolling);
+    const std::size_t covered_hours = static_cast<std::size_t>(
+        std::min<std::uint64_t>(hours_replayed, ts::kHoursPerWeek));
+    peaks.update(rolling, covered_hours);
+    const ZipfRankTracker::Update zupdate = zipf.update(rolling);
+    stats.rising_fronts = peaks.rising_fronts();
+    stats.zipf_rank_changes = zipf.total_rank_changes();
+    stats.zipf_exponent = zupdate.fit.exponent;
+    if (sealer) {
+      const SealedEpoch sealed = sealer->seal(index, rolling);
+      stats.latest_snapshot = sealer->latest_path();
+      (void)sealed;
+    }
+    ++stats.epochs_sealed;
+    events_since_seal = 0;
+    if (metrics_on) {
+      registry.gauge("serve.zipf.exponent", stats.zipf_exponent);
+      registry.gauge("serve.peaks.rising_fronts",
+                     static_cast<double>(stats.rising_fronts));
+    }
+  };
+
+  const std::uint32_t epoch_seconds = config.epoch_seconds;
+  for (std::size_t week = 0; !stopping; ++week) {
+    if (!run_forever && week >= config.weeks) break;
+    const std::uint64_t week_offset =
+        static_cast<std::uint64_t>(week) * net::kSecondsPerWeek;
+    for (std::size_t hour = 0; hour < ts::kHoursPerWeek && !stopping; ++hour) {
+      const auto events = impl_->replay.hour_events(hour);
+      std::size_t batch = 0;
+      for (const net::ServiceEvent& staged : events) {
+        const std::uint64_t scale = sampler.admit();
+        if (scale == 0) {
+          ++batch;  // dropped events still count against the replay rate
+        } else {
+          net::ServiceEvent event = staged;
+          event.timestamp =
+              static_cast<net::Timestamp>(event.timestamp + week_offset);
+          if (!ingest.try_route(event, scale, config.route_retry_limit)) {
+            // Sustained overload: engage shedding for the *next* events, but
+            // never drop one the sampler already admitted — block instead.
+            sampler.trigger();
+            if (metrics_on) registry.add("serve.overload.triggers");
+            ingest.route(event, scale);
+          }
+          ++stats.ingested;
+          ++events_since_seal;
+          ++batch;
+        }
+        if (batch >= kBatchEvents) {
+          flush_batch_metrics(batch);
+          batch = 0;
+          if (should_stop()) {
+            stopping = true;
+            break;
+          }
+        }
+      }
+      if (batch > 0) flush_batch_metrics(batch);
+      if (stopping) break;
+      const std::uint64_t end_second =
+          week_offset + static_cast<std::uint64_t>(hour + 1) *
+                            net::kSecondsPerHour;
+      ++hours_replayed;
+      if (end_second % epoch_seconds == 0) {
+        seal_epoch(end_second / epoch_seconds - 1);
+      }
+      if (should_stop()) stopping = true;
+    }
+  }
+
+  // Drain: merge whatever the shards still hold and seal the partial epoch,
+  // so a SIGTERM'd daemon leaves a consistent latest.snapshot behind.
+  if (events_since_seal > 0) {
+    const std::uint64_t covered_seconds =
+        hours_replayed * net::kSecondsPerHour;
+    seal_epoch(covered_seconds / epoch_seconds);
+  }
+  ingest.stop();
+
+  stats.sampled = sampler.sampled();
+  stats.overload_triggers = sampler.triggers();
+  stats.backpressure_spins = ingest.backpressure_spins();
+  const auto wall_end = std::chrono::steady_clock::now();
+  stats.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (stats.wall_seconds > 0.0) {
+    stats.events_per_second =
+        static_cast<double>(stats.ingested + stats.sampled) /
+        stats.wall_seconds;
+  }
+  if (metrics_on) {
+    registry.add("net.sampled", sampler.sampled() - sampled_reported);
+    registry.add("net.ingested", stats.ingested - ingested_reported);
+    registry.add("serve.backpressure.spins", stats.backpressure_spins);
+    registry.gauge("serve.events_per_second", stats.events_per_second);
+  }
+  return stats;
+}
+
+}  // namespace appscope::serve

@@ -1,0 +1,96 @@
+#include "serve/epoch.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace appscope::serve {
+
+namespace fs = std::filesystem;
+
+EpochSealer::EpochSealer(std::string directory,
+                         const synth::ScenarioConfig& config,
+                         const geo::Territory& territory,
+                         const workload::SubscriberBase& subscribers,
+                         const workload::ServiceCatalog& catalog)
+    : directory_(std::move(directory)),
+      config_(config),
+      territory_(territory),
+      subscribers_(subscribers),
+      catalog_(catalog) {
+  APPSCOPE_REQUIRE(!directory_.empty(), "EpochSealer: empty directory");
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    throw util::InputError("EpochSealer: cannot create " + directory_ + ": " +
+                           ec.message());
+  }
+  for (std::size_t u = 0; u < geo::kUrbanizationCount; ++u) {
+    class_subscribers_[u] =
+        subscribers_.total_in(territory_, static_cast<geo::Urbanization>(u));
+  }
+}
+
+std::string EpochSealer::epoch_filename(std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "epoch_%06llu.snapshot",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::string EpochSealer::latest_path() const {
+  return (fs::path(directory_) / "latest.snapshot").string();
+}
+
+SealedEpoch EpochSealer::seal(std::uint64_t index,
+                              const EventAggregates& rolling) {
+  util::ScopedSpan span("serve.epoch.seal");
+  util::StageTimer timer("serve.epoch.seal");
+
+  const io::DatasetAggregates aggregates =
+      rolling.to_dataset_aggregates(class_subscribers_);
+
+  const fs::path dir(directory_);
+  const fs::path epoch_path = dir / epoch_filename(index);
+  const fs::path tmp_path = dir / (epoch_filename(index) + ".tmp");
+
+  SealedEpoch sealed;
+  sealed.index = index;
+  sealed.events = rolling.events();
+  sealed.stats = io::write_snapshot(tmp_path.string(), config_, territory_,
+                                    subscribers_, catalog_, aggregates);
+  std::error_code ec;
+  fs::rename(tmp_path, epoch_path, ec);
+  if (ec) {
+    throw util::InputError("EpochSealer: cannot publish " +
+                           epoch_path.string() + ": " + ec.message());
+  }
+  sealed.path = epoch_path.string();
+
+  // Republish latest.snapshot atomically: copy the sealed file to a temp
+  // name, then rename over the previous latest. A concurrent reader either
+  // maps the old complete snapshot or the new one, never a partial write.
+  const fs::path latest_tmp = dir / "latest.snapshot.tmp";
+  fs::copy_file(epoch_path, latest_tmp, fs::copy_options::overwrite_existing,
+                ec);
+  if (!ec) fs::rename(latest_tmp, dir / "latest.snapshot", ec);
+  if (ec) {
+    throw util::InputError("EpochSealer: cannot republish latest.snapshot: " +
+                           ec.message());
+  }
+
+  if (util::MetricsRegistry::enabled()) {
+    auto& registry = util::MetricsRegistry::global();
+    registry.add("serve.epochs.sealed");
+    registry.add("serve.epoch.bytes_written", sealed.stats.bytes);
+  }
+  timer.add_bytes(sealed.stats.bytes);
+  timer.add_items(1);
+  return sealed;
+}
+
+}  // namespace appscope::serve

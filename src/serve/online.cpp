@@ -1,0 +1,88 @@
+#include "serve/online.hpp"
+
+#include <algorithm>
+
+#include "ts/calendar.hpp"
+#include "util/error.hpp"
+
+namespace appscope::serve {
+
+OnlinePeakTracker::OnlinePeakTracker(std::size_t services,
+                                     ts::ZScorePeakOptions options)
+    : services_(services), options_(options) {
+  APPSCOPE_REQUIRE(services > 0, "OnlinePeakTracker: no services");
+}
+
+void OnlinePeakTracker::update(const EventAggregates& rolling,
+                               std::size_t covered_hours) {
+  APPSCOPE_REQUIRE(rolling.services() == services_,
+                   "OnlinePeakTracker: dimension mismatch");
+  covered_hours = std::min(covered_hours, ts::kHoursPerWeek);
+  ++updates_;
+  rising_fronts_ = 0;
+  services_with_peaks_ = 0;
+  // The detrending baseline needs at least one full window on both sides,
+  // and the detector itself needs more samples than its lag.
+  const std::size_t min_hours =
+      std::max<std::size_t>(options_.lag + 2, 2 * options_.detrend_half_window + 2);
+  if (covered_hours < min_hours) return;
+
+  ts::ZScorePeakOptions options = options_;
+  // Wrapping the detrend window is only meaningful once the weekly cycle is
+  // complete; on a partial prefix the window truncates at the live edge.
+  options.detrend_wrap =
+      options_.detrend_wrap && covered_hours == ts::kHoursPerWeek;
+
+  for (std::size_t s = 0; s < services_; ++s) {
+    std::vector<double> series = rolling.national_downlink_series(s);
+    series.resize(covered_hours);
+    if (options.detrend_half_window > 0 &&
+        *std::min_element(series.begin(), series.end()) <= 0.0) {
+      continue;  // detrending requires a strictly positive series
+    }
+    const ts::PeakDetection detection = ts::detect_peaks(series, options);
+    rising_fronts_ += detection.rising_fronts.size();
+    if (!detection.intervals.empty()) ++services_with_peaks_;
+  }
+}
+
+ZipfRankTracker::ZipfRankTracker(std::size_t services) : services_(services) {
+  APPSCOPE_REQUIRE(services > 0, "ZipfRankTracker: no services");
+}
+
+ZipfRankTracker::Update ZipfRankTracker::update(const EventAggregates& rolling) {
+  APPSCOPE_REQUIRE(rolling.services() == services_,
+                   "ZipfRankTracker: dimension mismatch");
+  std::vector<std::uint64_t> totals(services_);
+  for (std::size_t s = 0; s < services_; ++s) {
+    totals[s] = rolling.national_total(s);
+  }
+  std::vector<std::size_t> ranking(services_);
+  for (std::size_t s = 0; s < services_; ++s) ranking[s] = s;
+  std::sort(ranking.begin(), ranking.end(),
+            [&totals](std::size_t a, std::size_t b) {
+              return totals[a] != totals[b] ? totals[a] > totals[b] : a < b;
+            });
+
+  Update result;
+  if (have_ranking_) {
+    for (std::size_t r = 0; r < services_; ++r) {
+      if (ranking[r] != ranking_[r]) ++result.rank_changes;
+    }
+  }
+  total_changes_ += result.rank_changes;
+  ranking_ = std::move(ranking);
+  have_ranking_ = true;
+
+  std::vector<double> volumes(services_);
+  for (std::size_t s = 0; s < services_; ++s) {
+    volumes[s] = static_cast<double>(totals[s]);
+  }
+  const std::vector<double> sizes = stats::rank_sizes(volumes);
+  if (sizes.size() >= 4) {
+    result.fit = stats::fit_zipf_top_half(sizes);
+  }
+  return result;
+}
+
+}  // namespace appscope::serve

@@ -1,0 +1,80 @@
+// appscope/serve/online.hpp
+//
+// Online analyses over the live rolling state, re-evaluated at every epoch
+// seal. Both consume the uint64 aggregate state, so their outputs are as
+// deterministic as the sealed snapshots.
+//
+//  * OnlinePeakTracker — the paper's smoothed z-score detector (ts::peaks)
+//    is already streaming-shaped: it only looks backwards over a rolling
+//    window. The tracker runs it over the covered prefix of every service's
+//    national series, so topical-time surges are flagged while the week is
+//    still filling in.
+//  * ZipfRankTracker — incremental Fig. 2: maintains the service ranking by
+//    cumulative volume, counts rank inversions between consecutive epochs
+//    and refits the top-half Zipf exponent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/aggregates.hpp"
+#include "stats/zipf.hpp"
+#include "ts/peaks.hpp"
+
+namespace appscope::serve {
+
+class OnlinePeakTracker {
+ public:
+  explicit OnlinePeakTracker(std::size_t services,
+                             ts::ZScorePeakOptions options = {});
+
+  /// Re-runs the detector over hours [0, covered_hours) of every service's
+  /// national downlink series. Services whose covered prefix is too short
+  /// for the detector, or not strictly positive (required by detrending),
+  /// are skipped this round.
+  void update(const EventAggregates& rolling, std::size_t covered_hours);
+
+  /// Total rising fronts across services at the last update.
+  std::uint64_t rising_fronts() const noexcept { return rising_fronts_; }
+  /// Services with at least one detected peak interval at the last update.
+  std::size_t services_with_peaks() const noexcept {
+    return services_with_peaks_;
+  }
+  std::uint64_t updates() const noexcept { return updates_; }
+
+ private:
+  std::size_t services_;
+  ts::ZScorePeakOptions options_;
+  std::uint64_t rising_fronts_ = 0;
+  std::size_t services_with_peaks_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+class ZipfRankTracker {
+ public:
+  explicit ZipfRankTracker(std::size_t services);
+
+  struct Update {
+    /// Services whose rank differs from the previous epoch (0 on the first
+    /// update).
+    std::size_t rank_changes = 0;
+    /// Top-half Zipf fit of the current ranking (default-constructed when
+    /// fewer than two services have volume yet).
+    stats::ZipfFit fit;
+  };
+
+  Update update(const EventAggregates& rolling);
+
+  /// Current ranking: service indices in descending cumulative volume
+  /// (ties broken by service index for determinism).
+  const std::vector<std::size_t>& ranking() const noexcept { return ranking_; }
+  std::uint64_t total_rank_changes() const noexcept { return total_changes_; }
+
+ private:
+  std::size_t services_;
+  std::vector<std::size_t> ranking_;
+  std::uint64_t total_changes_ = 0;
+  bool have_ranking_ = false;
+};
+
+}  // namespace appscope::serve

@@ -12,9 +12,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <mutex>
 
 #include "bench_common.hpp"
 #include "core/dataset.hpp"
+#include "query/engine.hpp"
+#include "query/snapshot_view.hpp"
 #include "la/aligned.hpp"
 #include "net/event.hpp"
 #include "serve/aggregates.hpp"
@@ -427,6 +430,95 @@ void BM_SnapshotLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Query engine (src/query): interactive slice/aggregate latency over the
+// snapshot store. BM_QueryHourSlice is the acceptance benchmark of the
+// subsystem — a warm hour-window x all-services slice must answer in well
+// under a millisecond (tracked in BENCH_core.json). The engines run with
+// the cache disabled so the scan itself is measured, not the cache hit.
+
+std::string query_bench_snapshot() {
+  static const std::string path = [] {
+    const std::string p = (std::filesystem::temp_directory_path() /
+                           "appscope_bench_query.snapshot")
+                              .string();
+    core::TrafficDataset::generate(synth::ScenarioConfig::example_scale())
+        .save(p);
+    return p;
+  }();
+  return path;
+}
+
+void BM_QueryHourSlice(benchmark::State& state) {
+  util::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(state.range(0)));
+  const query::SnapshotView view(query_bench_snapshot());
+  query::Engine engine({.cache_capacity = 0});
+  query::Slice slice;  // evening busy window x all services, downlink
+  slice.hour_begin = 18;
+  slice.hour_end = 22;
+  // Warm: map + CRC the national section once, outside the timer.
+  benchmark::DoNotOptimize(engine.run(view, slice).value);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(view, slice).value);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(view.services()) * 4);
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_QueryHourSlice)->Arg(1)->Arg(8)->UseRealTime();
+
+void BM_QueryCommuneFingerprint(benchmark::State& state) {
+  util::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(state.range(0)));
+  const query::SnapshotView view(query_bench_snapshot());
+  query::Engine engine({.cache_capacity = 0});
+  query::Slice slice;  // the paper's spatial fingerprint: per-commune totals
+  slice.source = query::Source::kCommuneTotals;
+  slice.group_by = query::GroupBy::kCommune;
+  benchmark::DoNotOptimize(engine.run(view, slice).groups.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(view, slice).groups.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(view.services() *
+                                                    view.communes()));
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_QueryCommuneFingerprint)
+    ->Arg(1)
+    ->Arg(8)
+    ->UseRealTime();
+
+void BM_SnapshotLazyLoad(benchmark::State& state) {
+  // Open lazily and answer one hour-slice: only the header window plus the
+  // national section are mapped and CRC-checked — strictly fewer bytes than
+  // the full load above. The mapped/file byte counts are exported as
+  // counters (and io.snapshot.mapped_bytes in the metrics artifact).
+  util::ThreadPool::set_global_threads(1);
+  const std::string path = query_bench_snapshot();
+  std::uint64_t mapped = 0;
+  std::uint64_t file_bytes = 0;
+  for (auto _ : state) {
+    const query::SnapshotView view(path);
+    query::Engine engine({.cache_capacity = 0});
+    query::Slice slice;
+    slice.hour_begin = 18;
+    slice.hour_end = 22;
+    benchmark::DoNotOptimize(engine.run(view, slice).value);
+    mapped = view.mapped_bytes();
+    file_bytes = view.file_bytes();
+  }
+  if (mapped >= file_bytes) {
+    state.SkipWithError("lazy load mapped the whole file");
+  }
+  state.counters["mapped_bytes"] =
+      benchmark::Counter(static_cast<double>(mapped));
+  state.counters["file_bytes"] =
+      benchmark::Counter(static_cast<double>(file_bytes));
+  util::ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_SnapshotLazyLoad)->UseRealTime();
+
 // Tracing overhead (see "Structured tracing" in DESIGN.md). The disabled
 // path is the acceptance benchmark of the zero-cost contract: a ScopedSpan
 // constructed while metrics are off must not allocate or read a clock, so
@@ -499,6 +591,32 @@ BENCHMARK(BM_IngestEvents)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Concurrent-reader scaling: N benchmark threads share one SnapshotView and
+// one Engine and issue the hour-slice query independently. The pool is
+// pinned to one thread (scans run inline on each reader, no shared-pool
+// contention), so flat per-query latency as threads grow means linear
+// aggregate throughput — the EXPERIMENTS.md scaling table. Registered last:
+// the pool stays at one thread for the rest of the process.
+void BM_QueryConcurrentReaders(benchmark::State& state) {
+  static std::once_flag once;
+  std::call_once(once, [] { util::ThreadPool::set_global_threads(1); });
+  static const query::SnapshotView view(query_bench_snapshot());
+  static query::Engine engine({.cache_capacity = 0});
+  query::Slice slice;
+  slice.hour_begin = 18;
+  slice.hour_end = 22;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(view, slice).value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryConcurrentReaders)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
     ->UseRealTime();
 
 // Console reporter that also collects per-benchmark real time (normalized

@@ -15,6 +15,11 @@
 #              assert the metrics JSON (net.ingested, net.sampled,
 #              serve.queue.depth) and that the sealed epoch snapshot loads
 #              through paper_report (also enabled by APPSCOPE_SERVE_CHECK=1)
+#   --query    seal a test-scale snapshot, run appscope_query on the lazy
+#              read path with --check (bitwise cross-validation against the
+#              full-load path), and assert the query.* metrics counters and
+#              the partial-mapping invariant (also enabled by
+#              APPSCOPE_QUERY_CHECK=1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,13 +29,15 @@ RUN_TSAN="${APPSCOPE_TSAN:-0}"
 RUN_METRICS="${APPSCOPE_METRICS_CHECK:-0}"
 RUN_TRACE="${APPSCOPE_TRACE_CHECK:-0}"
 RUN_SERVE="${APPSCOPE_SERVE_CHECK:-0}"
+RUN_QUERY="${APPSCOPE_QUERY_CHECK:-0}"
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
     --metrics) RUN_METRICS=1 ;;
     --trace) RUN_TRACE=1 ;;
     --serve) RUN_SERVE=1 ;;
-    *) echo "usage: $0 [--tsan] [--metrics] [--trace] [--serve]" >&2; exit 2 ;;
+    --query) RUN_QUERY=1 ;;
+    *) echo "usage: $0 [--tsan] [--metrics] [--trace] [--serve] [--query]" >&2; exit 2 ;;
   esac
 done
 
@@ -164,6 +171,54 @@ PY
   "$BUILD_DIR"/examples/paper_report --scale=test \
     --snapshot="$SERVE_DIR/latest.snapshot" > /dev/null 2>&1
   echo "serve sealed snapshot loads through paper_report"
+fi
+
+# Query check (--query): seal a test-scale snapshot, answer a slice over it
+# through appscope_query on the lazy read path, cross-validate against the
+# eager full-load path (--check exits non-zero on any divergence), and
+# assert the query.* counters plus the partial-mapping invariant
+# (io.snapshot.mapped_bytes strictly below the file size).
+if [ "$RUN_QUERY" != "0" ]; then
+  echo "==== appscope_query validation"
+  QUERY_SNAP="$BUILD_DIR/query-check.snapshot"
+  QUERY_METRICS="$BUILD_DIR/query-metrics.json"
+  rm -f "$QUERY_SNAP" "$QUERY_METRICS"
+  "$BUILD_DIR"/examples/paper_report --scale=test \
+    --snapshot="$QUERY_SNAP" > /dev/null 2>&1
+  # Metered run stays lazy-only; --check (which adds an eager full-file
+  # load to the mapping counter) runs unmetered afterwards.
+  APPSCOPE_METRICS=1 APPSCOPE_METRICS_PATH="$QUERY_METRICS" \
+    "$BUILD_DIR"/src/query/appscope_query \
+    --snapshot="$QUERY_SNAP" --hours=18:22 --op=sum --repeat=3 \
+    --stats --slicing > /dev/null
+  "$BUILD_DIR"/src/query/appscope_query \
+    --snapshot="$QUERY_SNAP" --hours=18:22 --op=sum --check > /dev/null
+  "$BUILD_DIR"/src/query/appscope_query \
+    --snapshot="$QUERY_SNAP" --source=communes --op=topk --k=5 \
+    --group-by=commune --check > /dev/null
+  if [ ! -s "$QUERY_METRICS" ]; then
+    echo "FAIL: $QUERY_METRICS was not written" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$QUERY_METRICS" "$QUERY_SNAP" <<'PY'
+import json, os, sys
+doc = json.load(open(sys.argv[1]))
+counters = doc["counters"]
+assert counters.get("query.executed", 0) >= 1, counters
+assert counters.get("query.bytes_scanned", 0) > 0, counters
+assert counters.get("query.cache.hits", 0) >= 2, counters  # --repeat=3
+mapped = counters.get("io.snapshot.mapped_bytes", 0)
+size = os.path.getsize(sys.argv[2])
+assert 0 < mapped < size, (mapped, size)
+print(f"query OK: scanned {counters['query.bytes_scanned']} bytes, "
+      f"mapped {mapped} of {size}")
+PY
+  else
+    grep -q '"query.executed"' "$QUERY_METRICS"
+    grep -q '"io.snapshot.mapped_bytes"' "$QUERY_METRICS"
+    echo "query metrics OK (grep validation; python3 unavailable)"
+  fi
 fi
 
 # Optional ThreadSanitizer pass over the parallel/determinism tests

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <ostream>
 #include <system_error>
 
@@ -151,34 +152,40 @@ TrafficDataset load_or_generate_snapshot(const synth::ScenarioConfig& config,
 }
 
 std::string find_latest_snapshot(const std::string& directory) {
-  namespace fs = std::filesystem;
-  const fs::path dir(directory);
-  const fs::path latest = dir / "latest.snapshot";
-  std::error_code ec;
-  if (fs::exists(latest, ec)) return latest.string();
-
-  // No latest.snapshot (sealing interrupted between the epoch rename and
-  // the republish): fall back to the highest-numbered sealed epoch.
-  std::string best;
-  std::string best_name;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    const std::string name = entry.path().filename().string();
-    if (!name.starts_with("epoch_") || !name.ends_with(".snapshot")) continue;
-    // Zero-padded indices make lexicographic order the numeric order.
-    if (best_name.empty() || name > best_name) {
-      best_name = name;
-      best = entry.path().string();
-    }
-  }
-  return best;
+  return io::find_latest_snapshot(directory);
 }
 
+namespace detail {
+
+namespace {
+std::function<void(int)> g_epoch_load_hook;
+}  // namespace
+
+void set_epoch_load_test_hook(std::function<void(int)> hook) {
+  g_epoch_load_hook = std::move(hook);
+}
+
+}  // namespace detail
+
 TrafficDataset load_epoch_snapshot(const std::string& directory) {
-  const std::string path = find_latest_snapshot(directory);
-  if (path.empty()) {
-    throw util::InputError("load_epoch_snapshot: no snapshot in " + directory);
+  // The sealer publishes latest.snapshot by atomic rename, so a reader can
+  // lose the race between resolving the path and opening/validating it
+  // (ENOENT, or a half-observed replacement failing CRC). A bounded retry
+  // re-resolves and reloads: each retry observes a complete published file,
+  // so persistent failure means real corruption, not racing.
+  constexpr int kAttempts = 3;
+  for (int attempt = 0;; ++attempt) {
+    const std::string path = find_latest_snapshot(directory);
+    if (path.empty()) {
+      throw util::InputError("load_epoch_snapshot: no snapshot in " + directory);
+    }
+    if (detail::g_epoch_load_hook) detail::g_epoch_load_hook(attempt);
+    try {
+      return TrafficDataset::load(path);
+    } catch (const util::InputError&) {
+      if (attempt + 1 >= kAttempts) throw;
+    }
   }
-  return TrafficDataset::load(path);
 }
 
 }  // namespace appscope::core

@@ -9,6 +9,11 @@
 //    peak of the hourly *total*;
 //  - the gap between the two is the multiplexing gain, which exists exactly
 //    because services peak at different topical times (Figs. 6-7).
+//
+// Both entry points — the in-memory TrafficDataset and the query-layer
+// SnapshotView — run the same kernel-based row analysis (la::simd striped
+// sums + order-independent max), so the two paths produce bitwise-identical
+// reports at any thread count under either SIMD dispatch.
 #pragma once
 
 #include <string>
@@ -16,6 +21,7 @@
 
 #include "core/dataset.hpp"
 #include "la/matrix.hpp"
+#include "query/snapshot_view.hpp"
 
 namespace appscope::core {
 
@@ -53,11 +59,22 @@ struct SlicingReport {
 SlicingReport analyze_slicing(const TrafficDataset& dataset,
                               workload::Direction d);
 
+/// Same analysis over a (lazily mapped) snapshot via the query layer —
+/// touches only the national-series and catalog sections, and produces a
+/// report bitwise identical to the dataset overload on the snapshot of the
+/// same dataset.
+SlicingReport analyze_slicing(const query::SnapshotView& view,
+                              workload::Direction d);
+
 /// Peak-hour co-occurrence: entry (i, j) = 1 if services i and j reach
 /// >= `threshold` of their own peak in the same hour at least once.
 /// Sparse co-occurrence across services is the complementarity that makes
 /// the multiplexing gain possible.
 la::Matrix peak_cooccurrence(const TrafficDataset& dataset,
+                             workload::Direction d, double threshold = 0.9);
+
+/// Query-path overload, bitwise identical to the dataset overload.
+la::Matrix peak_cooccurrence(const query::SnapshotView& view,
                              workload::Direction d, double threshold = 0.9);
 
 }  // namespace appscope::core

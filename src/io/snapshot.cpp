@@ -1,6 +1,8 @@
 #include "io/snapshot.hpp"
 
+#include <filesystem>
 #include <string>
+#include <system_error>
 
 #include "io/binary.hpp"
 #include "io/serialize.hpp"
@@ -194,6 +196,29 @@ LoadedSnapshot read_snapshot(const std::string& path) {
 std::uint64_t read_snapshot_config_hash(const std::string& path) {
   const SnapshotReader reader(path);
   return reader.header().config_hash;
+}
+
+std::string find_latest_snapshot(const std::string& directory) {
+  namespace fs = std::filesystem;
+  const fs::path dir(directory);
+  const fs::path latest = dir / "latest.snapshot";
+  std::error_code ec;
+  if (fs::exists(latest, ec)) return latest.string();
+
+  // No latest.snapshot (sealing interrupted between the epoch rename and
+  // the republish): fall back to the highest-numbered sealed epoch.
+  std::string best;
+  std::string best_name;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("epoch_") || !name.ends_with(".snapshot")) continue;
+    // Zero-padded indices make lexicographic order the numeric order.
+    if (best_name.empty() || name > best_name) {
+      best_name = name;
+      best = entry.path().string();
+    }
+  }
+  return best;
 }
 
 }  // namespace appscope::io

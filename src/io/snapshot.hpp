@@ -79,4 +79,11 @@ LoadedSnapshot read_snapshot(const std::string& path);
 /// file structurally). Throws util::InputError like read_snapshot.
 std::uint64_t read_snapshot_config_hash(const std::string& path);
 
+/// Most recent complete snapshot in a directory the appscope_serve daemon
+/// seals epochs into: `latest.snapshot` when present, otherwise the
+/// epoch_<index>.snapshot with the highest index, otherwise "". Lives here
+/// (not core) so snapshot followers below the core layer can resolve the
+/// publish point too.
+std::string find_latest_snapshot(const std::string& directory);
+
 }  // namespace appscope::io

@@ -29,8 +29,10 @@ namespace {
 
 }  // namespace
 
-/// Owns the file bytes: either an mmap view (base/map_bytes) or, on
-/// platforms without mmap, a buffered copy.
+/// Owns the file bytes. Eager mode: one whole-file mmap view (base/size) or,
+/// on platforms without mmap, a buffered copy. Lazy mode: the fd stays open,
+/// `base` points at the header + table window only, and each section gets
+/// its own page-aligned mapping on first touch (recorded in SectionState).
 struct SnapshotReader::Backing {
   const std::byte* base = nullptr;
   std::size_t size = 0;
@@ -38,19 +40,33 @@ struct SnapshotReader::Backing {
 #if APPSCOPE_SNAPSHOT_HAVE_MMAP
   void* map_addr = nullptr;
   std::size_t map_bytes = 0;
+  int fd = -1;  // kept open only in lazy mode
 #endif
   std::vector<std::byte> buffer;
 
   ~Backing() {
 #if APPSCOPE_SNAPSHOT_HAVE_MMAP
     if (map_addr != nullptr) ::munmap(map_addr, map_bytes);
+    if (fd >= 0) ::close(fd);
 #endif
   }
 };
 
-SnapshotReader::SnapshotReader(const std::string& path)
-    : path_(path), backing_(std::make_unique<Backing>()) {
-  util::ScopedSpan span("snapshot.open");
+/// Lazy per-section cache. `payload` is the published, already-CRC-checked
+/// pointer (acquire/release pairs with the store under lazy_mu_); the map
+/// fields are owned for unmap at destruction.
+struct SnapshotReader::SectionState {
+  std::atomic<const std::byte*> payload{nullptr};
+#if APPSCOPE_SNAPSHOT_HAVE_MMAP
+  void* map_addr = nullptr;
+  std::size_t map_bytes = 0;
+#endif
+};
+
+SnapshotReader::SnapshotReader(const std::string& path, ValidationMode mode)
+    : path_(path), mode_(mode), backing_(std::make_unique<Backing>()) {
+  util::ScopedSpan span(mode == ValidationMode::kLazy ? "snapshot.open_lazy"
+                                                      : "snapshot.open");
 #if APPSCOPE_SNAPSHOT_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) fail(path_, "cannot open for reading");
@@ -60,6 +76,24 @@ SnapshotReader::SnapshotReader(const std::string& path)
     fail(path_, "cannot stat");
   }
   const auto size = static_cast<std::size_t>(st.st_size);
+  if (mode_ == ValidationMode::kLazy) {
+    // Map just the header + section table window; sections come later.
+    backing_->fd = fd;
+    const std::size_t head_bytes = std::min(size, kPayloadStart);
+    if (head_bytes > 0) {
+      void* addr = ::mmap(nullptr, head_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (addr == MAP_FAILED) fail(path_, "mmap failed");
+      backing_->map_addr = addr;
+      backing_->map_bytes = head_bytes;
+      backing_->base = static_cast<const std::byte*>(addr);
+      backing_->size = head_bytes;
+      backing_->is_mapping = true;
+    }
+    validate_header_and_table({backing_->base, backing_->size}, size);
+    lazy_sections_ = std::make_unique<SectionState[]>(entries_.size());
+    record_mapped(backing_->size);
+    return;
+  }
   if (size > 0) {
     void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd);
@@ -73,6 +107,8 @@ SnapshotReader::SnapshotReader(const std::string& path)
     ::close(fd);
   }
 #else
+  // No mmap: one buffered read regardless of mode; kLazy degrades to eager.
+  mode_ = ValidationMode::kEager;
   std::ifstream in(path, std::ios::binary);
   if (!in) fail(path_, "cannot open for reading");
   in.seekg(0, std::ios::end);
@@ -86,14 +122,26 @@ SnapshotReader::SnapshotReader(const std::string& path)
   backing_->base = backing_->buffer.data();
   backing_->size = backing_->buffer.size();
 #endif
-  validate();
+  validate_header_and_table({backing_->base, backing_->size}, backing_->size);
+  validate_all_sections();
+  record_mapped(backing_->size);
   if (util::MetricsRegistry::enabled()) {
     util::MetricsRegistry::global().add("io.snapshot.bytes_read",
                                         backing_->size);
   }
 }
 
-SnapshotReader::~SnapshotReader() = default;
+SnapshotReader::~SnapshotReader() {
+#if APPSCOPE_SNAPSHOT_HAVE_MMAP
+  if (lazy_sections_ != nullptr) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (lazy_sections_[i].map_addr != nullptr) {
+        ::munmap(lazy_sections_[i].map_addr, lazy_sections_[i].map_bytes);
+      }
+    }
+  }
+#endif
+}
 
 std::span<const std::byte> SnapshotReader::bytes() const noexcept {
   return {backing_->base, backing_->size};
@@ -101,18 +149,25 @@ std::span<const std::byte> SnapshotReader::bytes() const noexcept {
 
 bool SnapshotReader::mapped() const noexcept { return backing_->is_mapping; }
 
-void SnapshotReader::validate() {
-  const std::span<const std::byte> file = bytes();
-  if (file.size() < kHeaderBytes) fail(path_, "truncated (no header)");
+void SnapshotReader::record_mapped(std::uint64_t bytes) const noexcept {
+  mapped_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (util::MetricsRegistry::enabled()) {
+    util::MetricsRegistry::global().add("io.snapshot.mapped_bytes", bytes);
+  }
+}
+
+void SnapshotReader::validate_header_and_table(std::span<const std::byte> head,
+                                               std::uint64_t actual_file_bytes) {
+  if (head.size() < kHeaderBytes) fail(path_, "truncated (no header)");
 
   // Magic first — anything else about a foreign file is noise.
   for (std::size_t i = 0; i < kSnapshotMagic.size(); ++i) {
-    if (static_cast<std::uint8_t>(file[i]) != kSnapshotMagic[i]) {
+    if (static_cast<std::uint8_t>(head[i]) != kSnapshotMagic[i]) {
       fail(path_, "bad magic (not an appscope snapshot)");
     }
   }
 
-  ByteReader r(file.subspan(kSnapshotMagic.size(),
+  ByteReader r(head.subspan(kSnapshotMagic.size(),
                             kHeaderBytes - kSnapshotMagic.size()));
   header_.version = r.u32();
   if (header_.version == 0 || header_.version > kSnapshotVersion) {
@@ -131,18 +186,18 @@ void SnapshotReader::validate() {
   header_.file_bytes = r.u64();
   header_.table_crc = r.u32();
 
-  if (header_.file_bytes != file.size()) {
+  if (header_.file_bytes != actual_file_bytes) {
     fail(path_, "truncated (header expects " +
                     std::to_string(header_.file_bytes) + " bytes, file has " +
-                    std::to_string(file.size()) + ")");
+                    std::to_string(actual_file_bytes) + ")");
   }
   if (header_.section_count > kMaxSections) {
     fail(path_, "section count out of range");
   }
-  if (file.size() < kPayloadStart) fail(path_, "truncated (no section table)");
+  if (head.size() < kPayloadStart) fail(path_, "truncated (no section table)");
 
   const std::span<const std::byte> table =
-      file.subspan(kHeaderBytes, kMaxSections * kSectionEntryBytes);
+      head.subspan(kHeaderBytes, kMaxSections * kSectionEntryBytes);
   if (crc32(table) != header_.table_crc) {
     if (util::MetricsRegistry::enabled()) {
       util::MetricsRegistry::global().add("io.snapshot.checksum_failures");
@@ -165,7 +220,7 @@ void SnapshotReader::validate() {
     e.crc = tr.u32();
     tr.u32();  // reserved
     if (e.offset < kPayloadStart || e.offset % kSectionAlignment != 0 ||
-        e.offset + e.payload_bytes > file.size() ||
+        e.offset + e.payload_bytes > actual_file_bytes ||
         e.offset + e.payload_bytes < e.offset) {
       fail(path_, "section '" + std::string(section_name(e.id)) +
                       "' out of file bounds");
@@ -176,25 +231,31 @@ void SnapshotReader::validate() {
     }
     entries_.push_back(e);
   }
+}
 
+void SnapshotReader::check_payload_crc(const SectionEntry& e,
+                                       std::span<const std::byte> payload) const {
+  util::ScopedSpan section_span("snapshot.verify." +
+                                std::string(section_name(e.id)));
+  if (crc32(payload) != e.crc) {
+    if (util::MetricsRegistry::enabled()) {
+      util::MetricsRegistry::global().add("io.snapshot.checksum_failures");
+    }
+    fail(path_, "section '" + std::string(section_name(e.id)) +
+                    "' checksum mismatch (corrupted)");
+  }
+  if (util::MetricsRegistry::enabled()) {
+    util::MetricsRegistry::global().add("io.snapshot.sections");
+  }
+}
+
+void SnapshotReader::validate_all_sections() {
   // Per-section payload checksums, each under its own span so a slow
   // verification shows up attributed in the trace.
+  const std::span<const std::byte> file = bytes();
   for (const SectionEntry& e : entries_) {
-    util::ScopedSpan section_span("snapshot.verify." +
-                                  std::string(section_name(e.id)));
-    const auto payload =
-        file.subspan(static_cast<std::size_t>(e.offset),
-                     static_cast<std::size_t>(e.payload_bytes));
-    if (crc32(payload) != e.crc) {
-      if (util::MetricsRegistry::enabled()) {
-        util::MetricsRegistry::global().add("io.snapshot.checksum_failures");
-      }
-      fail(path_, "section '" + std::string(section_name(e.id)) +
-                      "' checksum mismatch (corrupted)");
-    }
-    if (util::MetricsRegistry::enabled()) {
-      util::MetricsRegistry::global().add("io.snapshot.sections");
-    }
+    check_payload_crc(e, file.subspan(static_cast<std::size_t>(e.offset),
+                                      static_cast<std::size_t>(e.payload_bytes)));
   }
 }
 
@@ -210,10 +271,69 @@ const SectionEntry& SnapshotReader::entry(SectionId id) const {
   fail(path_, "missing section '" + std::string(section_name(id)) + "'");
 }
 
-std::span<const std::byte> SnapshotReader::section(SectionId id) const {
-  const SectionEntry& e = entry(id);
+std::size_t SnapshotReader::entry_index(const SectionEntry& e) const noexcept {
+  return static_cast<std::size_t>(&e - entries_.data());
+}
+
+std::span<const std::byte> SnapshotReader::payload(const SectionEntry& e) const {
+  if (mode_ == ValidationMode::kLazy) return lazy_payload(e);
   return bytes().subspan(static_cast<std::size_t>(e.offset),
                          static_cast<std::size_t>(e.payload_bytes));
+}
+
+std::span<const std::byte> SnapshotReader::lazy_payload(
+    const SectionEntry& e) const {
+#if APPSCOPE_SNAPSHOT_HAVE_MMAP
+  SectionState& state = lazy_sections_[entry_index(e)];
+  // Fast path: already mapped + validated by some thread.
+  if (const std::byte* p = state.payload.load(std::memory_order_acquire)) {
+    return {p, static_cast<std::size_t>(e.payload_bytes)};
+  }
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (const std::byte* p = state.payload.load(std::memory_order_acquire)) {
+    return {p, static_cast<std::size_t>(e.payload_bytes)};
+  }
+  static const std::byte kEmpty{};
+  const std::byte* payload_ptr = &kEmpty;
+  if (e.payload_bytes > 0) {
+    // mmap offsets must be page-aligned; payloads are only
+    // kSectionAlignment-aligned, so map from the enclosing page boundary.
+    // Page sizes are multiples of kSectionAlignment, so the in-page delta
+    // keeps the payload pointer kSectionAlignment-aligned.
+    const auto page = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+    const std::uint64_t map_start = e.offset & ~(page - 1);
+    const std::size_t delta = static_cast<std::size_t>(e.offset - map_start);
+    const std::size_t map_len = delta + static_cast<std::size_t>(e.payload_bytes);
+    void* addr = ::mmap(nullptr, map_len, PROT_READ, MAP_PRIVATE, backing_->fd,
+                        static_cast<off_t>(map_start));
+    if (addr == MAP_FAILED) {
+      fail(path_, "section '" + std::string(section_name(e.id)) +
+                      "' mmap failed");
+    }
+    payload_ptr = static_cast<const std::byte*>(addr) + delta;
+    try {
+      check_payload_crc(e, {payload_ptr,
+                            static_cast<std::size_t>(e.payload_bytes)});
+    } catch (...) {
+      ::munmap(addr, map_len);
+      throw;
+    }
+    state.map_addr = addr;
+    state.map_bytes = map_len;
+    record_mapped(map_len);
+  } else {
+    check_payload_crc(e, {});
+  }
+  state.payload.store(payload_ptr, std::memory_order_release);
+  return {payload_ptr, static_cast<std::size_t>(e.payload_bytes)};
+#else
+  fail(path_, "lazy section mapping requires mmap");
+#endif
+}
+
+std::span<const std::byte> SnapshotReader::section(SectionId id) const {
+  const SectionEntry& e = entry(id);
+  return payload(e);
 }
 
 std::span<const double> SnapshotReader::f64_section(SectionId id) const {
@@ -222,7 +342,7 @@ std::span<const double> SnapshotReader::f64_section(SectionId id) const {
     fail(path_, "section '" + std::string(section_name(id)) +
                     "' is not an f64 column");
   }
-  const std::span<const std::byte> raw = section(id);
+  const std::span<const std::byte> raw = payload(e);
   APPSCOPE_CHECK(reinterpret_cast<std::uintptr_t>(raw.data()) %
                          alignof(double) ==
                      0,
@@ -238,7 +358,7 @@ std::span<const std::uint64_t> SnapshotReader::u64_section(SectionId id) const {
     fail(path_, "section '" + std::string(section_name(id)) +
                     "' is not a u64 column");
   }
-  const std::span<const std::byte> raw = section(id);
+  const std::span<const std::byte> raw = payload(e);
   APPSCOPE_CHECK(reinterpret_cast<std::uintptr_t>(raw.data()) %
                          alignof(std::uint64_t) ==
                      0,

@@ -136,12 +136,40 @@ std::size_t find_first_equal(const double* x, std::size_t n, double v) {
   return n;
 }
 
+// The 4-lane striped reduction tree is the kernel contract (see simd.hpp):
+// lane (i & 3) accumulates element i in index order, lanes combine as
+// (l0 + l2) + (l1 + l3). The AVX2 kernels hold the same four lanes in one
+// vector accumulator, so both implementations perform identical IEEE adds.
+
+double sum_stripes(const double* x, std::size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) lane[i & 3] += x[i];
+  return (lane[0] + lane[2]) + (lane[1] + lane[3]);
+}
+
+double masked_sum_stripes(const double* x, const std::uint8_t* mask,
+                          std::size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    lane[i & 3] += mask[i] != 0 ? x[i] : 0.0;
+  }
+  return (lane[0] + lane[2]) + (lane[1] + lane[3]);
+}
+
+double masked_max(const double* x, const std::uint8_t* mask, std::size_t n) {
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask[i] != 0 && x[i] > best) best = x[i];
+  }
+  return best;
+}
+
 const Kernels& table() noexcept {
   static constexpr Kernels kTable = {
       "scalar",      fft_passes, rfft_untangle, rfft_retangle,
       conj_multiply, complex_scale, scale,      axpy,
       accumulate,    znorm_apply, row_scale,    max_value,
-      find_first_equal,
+      find_first_equal, sum_stripes, masked_sum_stripes, masked_max,
   };
   return kTable;
 }

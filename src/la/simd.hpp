@@ -25,6 +25,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 
 namespace appscope::la::simd {
 
@@ -100,6 +101,33 @@ struct Kernels {
 
   /// First i with x[i] == v (IEEE ==, so +0 matches -0), or n if none.
   std::size_t (*find_first_equal)(const double* x, std::size_t n, double v);
+
+  // --- Slice-scan reductions (query engine) ---------------------------------
+  // These are the only summing reductions in the table. They are bitwise
+  // deterministic across implementations because the reduction *tree* is
+  // part of the kernel contract, not an implementation detail: element i is
+  // added into virtual lane (i & 3), and the four lane accumulators are
+  // combined as (l0 + l2) + (l1 + l3). The scalar reference performs exactly
+  // that sequence with scalar adds; AVX2 performs it with one vector
+  // accumulator whose lanes are the same four accumulators. Callers must not
+  // assume the result matches a left-to-right sequential sum — both paths of
+  // a comparison have to go through the same kernel.
+
+  /// 4-lane striped sum of x[0, n): lane (i & 3) accumulates x[i] in index
+  /// order, lanes combine as (l0 + l2) + (l1 + l3).
+  double (*sum_stripes)(const double* x, std::size_t n);
+
+  /// Striped sum over a selection: lane (i & 3) accumulates
+  /// (mask[i] != 0 ? x[i] : 0.0) — masked-out elements contribute an
+  /// explicit +0.0 in both implementations. Same lane/combine contract as
+  /// sum_stripes.
+  double (*masked_sum_stripes)(const double* x, const std::uint8_t* mask,
+                               std::size_t n);
+
+  /// Maximum of x[i] over i with mask[i] != 0, under the same `>` rules as
+  /// max_value (NaNs never win; -inf when nothing is selected).
+  double (*masked_max)(const double* x, const std::uint8_t* mask,
+                       std::size_t n);
 };
 
 /// The active kernel table (atomic acquire load; first call resolves

@@ -27,6 +27,7 @@
 
 #include <immintrin.h>
 
+#include <cstring>
 #include <limits>
 
 namespace appscope::la::simd::avx2 {
@@ -327,6 +328,79 @@ std::size_t find_first_equal(const double* x, std::size_t n, double v) {
   return n;
 }
 
+namespace {
+
+/// Widens 4 mask bytes starting at mask[i] to a lane mask that is all-ones
+/// where the byte is zero (the *deselected* lanes).
+inline __m256d zero_lanes(const std::uint8_t* mask, std::size_t i) noexcept {
+  std::uint32_t m4;
+  std::memcpy(&m4, mask + i, sizeof(m4));
+  const __m256i wide =
+      _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(m4)));
+  return _mm256_castsi256_pd(
+      _mm256_cmpeq_epi64(wide, _mm256_setzero_si256()));
+}
+
+}  // namespace
+
+// The striped-sum kernels realize the lane contract literally: the vector
+// accumulator *is* the four lanes, a block of 4 loads puts element i into
+// lane (i & 3), and the tail/combine run the same scalar adds as the
+// reference implementation.
+
+double sum_stripes(const double* x, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (; i < n; ++i) lane[i & 3] += x[i];
+  return (lane[0] + lane[2]) + (lane[1] + lane[3]);
+}
+
+double masked_sum_stripes(const double* x, const std::uint8_t* mask,
+                          std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // andnot zeroes deselected lanes — the +0.0 contribution the scalar
+    // reference adds for masked-out elements.
+    const __m256d v =
+        _mm256_andnot_pd(zero_lanes(mask, i), _mm256_loadu_pd(x + i));
+    acc = _mm256_add_pd(acc, v);
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (; i < n; ++i) lane[i & 3] += mask[i] != 0 ? x[i] : 0.0;
+  return (lane[0] + lane[2]) + (lane[1] + lane[3]);
+}
+
+double masked_max(const double* x, const std::uint8_t* mask, std::size_t n) {
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t i = 0;
+  if (n >= 4) {
+    __m256d vbest = _mm256_set1_pd(best);
+    for (; i + 4 <= n; i += 4) {
+      const __m256d v = _mm256_loadu_pd(x + i);
+      // GT_OQ is false for NaN lanes (NaNs never win), and deselected lanes
+      // are stripped before the blend.
+      const __m256d gt = _mm256_cmp_pd(v, vbest, _CMP_GT_OQ);
+      vbest = _mm256_blendv_pd(vbest, v, _mm256_andnot_pd(zero_lanes(mask, i), gt));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, vbest);
+    for (const double l : lanes) {
+      if (l > best) best = l;
+    }
+  }
+  for (; i < n; ++i) {
+    if (mask[i] != 0 && x[i] > best) best = x[i];
+  }
+  return best;
+}
+
 bool cpu_supported() noexcept { return __builtin_cpu_supports("avx2"); }
 
 const Kernels& table() noexcept {
@@ -334,7 +408,7 @@ const Kernels& table() noexcept {
       "avx2",        fft_passes, rfft_untangle, rfft_retangle,
       conj_multiply, complex_scale, scale,      axpy,
       accumulate,    znorm_apply, row_scale,    max_value,
-      find_first_equal,
+      find_first_equal, sum_stripes, masked_sum_stripes, masked_max,
   };
   return kTable;
 }

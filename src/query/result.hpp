@@ -1,0 +1,34 @@
+// appscope/query/result.hpp
+//
+// The answer to one Slice. Values are plain doubles produced by the
+// dispatched scan kernels under the striped-reduction contract, so a result
+// is bitwise identical across SIMD dispatches and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace appscope::query {
+
+/// One per-group aggregate (service id, commune id or absolute hour,
+/// depending on the slice's group_by).
+struct GroupValue {
+  std::uint32_t key = 0;
+  double value = 0.0;
+};
+
+struct Result {
+  /// The overall aggregate over every selected cell.
+  double value = 0.0;
+  /// Selected cells aggregated (rows × selected elements per row).
+  std::uint64_t cells = 0;
+  /// Per-group aggregates when the slice groups; kTopK keeps the k largest
+  /// (ties broken toward the smaller key).
+  std::vector<GroupValue> groups;
+  /// Payload bytes the scan read (0 on a cache hit).
+  std::uint64_t bytes_scanned = 0;
+  /// True when served from the result cache without scanning.
+  bool from_cache = false;
+};
+
+}  // namespace appscope::query

@@ -1,0 +1,106 @@
+#include "query/slice.hpp"
+
+#include <algorithm>
+
+#include "workload/service.hpp"
+
+namespace appscope::query {
+
+void canonicalize(Slice& slice) {
+  std::sort(slice.services.begin(), slice.services.end());
+  slice.services.erase(
+      std::unique(slice.services.begin(), slice.services.end()),
+      slice.services.end());
+  std::sort(slice.communes.begin(), slice.communes.end());
+  slice.communes.erase(
+      std::unique(slice.communes.begin(), slice.communes.end()),
+      slice.communes.end());
+}
+
+namespace {
+
+void append_set(std::string& out, const char* tag,
+                const std::vector<std::uint32_t>& ids) {
+  out += tag;
+  out += '=';
+  if (ids.empty()) {
+    out += '*';
+    return;
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(ids[i]);
+  }
+}
+
+}  // namespace
+
+std::string canonical_query(const Slice& slice) {
+  Slice c = slice;
+  canonicalize(c);
+  std::string out;
+  out += source_name(c.source);
+  out += ' ';
+  out += workload::direction_name(c.direction);
+  out += " hours=";
+  out += std::to_string(c.hour_begin);
+  out += ':';
+  out += std::to_string(c.hour_end);
+  out += ' ';
+  append_set(out, "services", c.services);
+  out += ' ';
+  append_set(out, "communes", c.communes);
+  out += " class=";
+  out += c.urbanization < 0 ? "*" : std::to_string(c.urbanization);
+  out += " op=";
+  out += op_name(c.op);
+  if (c.op == Op::kTopK) {
+    out += ':';
+    out += std::to_string(c.k);
+  }
+  out += " by=";
+  out += group_by_name(c.group_by);
+  return out;
+}
+
+const char* source_name(Source s) noexcept {
+  switch (s) {
+    case Source::kNational:
+      return "national";
+    case Source::kCommuneTotals:
+      return "communes";
+    case Source::kUrbanization:
+      return "urbanization";
+  }
+  return "?";
+}
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kSum:
+      return "sum";
+    case Op::kMax:
+      return "max";
+    case Op::kMean:
+      return "mean";
+    case Op::kTopK:
+      return "topk";
+  }
+  return "?";
+}
+
+const char* group_by_name(GroupBy g) noexcept {
+  switch (g) {
+    case GroupBy::kNone:
+      return "none";
+    case GroupBy::kService:
+      return "service";
+    case GroupBy::kCommune:
+      return "commune";
+    case GroupBy::kHour:
+      return "hour";
+  }
+  return "?";
+}
+
+}  // namespace appscope::query

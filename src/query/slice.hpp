@@ -1,0 +1,72 @@
+// appscope/query/slice.hpp
+//
+// The query model: a Slice describes one time×space×service aggregate over
+// a snapshot — which cube to read (source), the direction, the predicates
+// (hour range, service set, commune set, urbanization class) and the
+// aggregate to compute (op + optional grouping). canonical_query() renders
+// a canonicalized slice to a stable string: the cache-key component, the
+// CLI echo format, and the form two processes can compare for equality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/service.hpp"
+
+namespace appscope::query {
+
+/// Which aggregate cube the slice reads.
+enum class Source : std::uint8_t {
+  kNational,       // [service][direction][hour]
+  kCommuneTotals,  // [direction][service][commune]
+  kUrbanization,   // [service][class][direction][hour]
+};
+
+/// The aggregate computed over the selected cells.
+enum class Op : std::uint8_t {
+  kSum,
+  kMax,
+  kMean,
+  kTopK,  // per-group sums, largest k groups (requires a group_by)
+};
+
+/// Secondary key the aggregate is broken down by.
+enum class GroupBy : std::uint8_t {
+  kNone,
+  kService,
+  kCommune,  // commune-totals source only
+  kHour,     // hourly sources only
+};
+
+struct Slice {
+  Source source = Source::kNational;
+  workload::Direction direction = workload::Direction::kDownlink;
+  /// Hour window [hour_begin, hour_end) for the hourly sources; ignored for
+  /// commune totals (which hold weekly sums).
+  std::uint32_t hour_begin = 0;
+  std::uint32_t hour_end = 0;  // 0 = "to the end of the week"
+  /// Service ids to include; empty = all services.
+  std::vector<std::uint32_t> services;
+  /// Commune ids to include (commune-totals source); empty = all.
+  std::vector<std::uint32_t> communes;
+  /// Urbanization class for the urbanization source: 0..3, or -1 = all.
+  int urbanization = -1;
+  Op op = Op::kSum;
+  /// Group count kept by kTopK.
+  std::uint32_t k = 5;
+  GroupBy group_by = GroupBy::kNone;
+};
+
+/// Sorts and dedupes the id sets — the canonical predicate form the planner
+/// and the cache key rely on.
+void canonicalize(Slice& slice);
+
+/// Stable textual form of a slice (canonicalizes a copy first).
+std::string canonical_query(const Slice& slice);
+
+const char* source_name(Source s) noexcept;
+const char* op_name(Op op) noexcept;
+const char* group_by_name(GroupBy g) noexcept;
+
+}  // namespace appscope::query

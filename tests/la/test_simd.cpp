@@ -355,6 +355,95 @@ TEST_F(SimdParity, FindFirstEqual) {
   EXPECT_EQ(v_.find_first_equal(zeros.data(), zeros.size(), -0.0), 1u);
 }
 
+std::vector<std::uint8_t> mask_pattern(std::size_t n, std::size_t rot) {
+  std::vector<std::uint8_t> mask(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mix of 0, 1 and >1 bytes — any non-zero byte selects.
+    mask[i] = static_cast<std::uint8_t>((i + rot) % 3 == 0 ? 0 : (i + rot) % 7);
+  }
+  return mask;
+}
+
+TEST_F(SimdParity, SumStripes) {
+  for (const std::size_t n : kLengths) {
+    const auto a = random_vector(n, 120 + n);
+    const double ss = s_.sum_stripes(a.data(), n);
+    const double sv = v_.sum_stripes(a.data(), n);
+    EXPECT_EQ(std::memcmp(&ss, &sv, sizeof(double)), 0)
+        << "sum_stripes n=" << n;
+
+    const auto b = adversarial_vector(n, 2);
+    const double as = s_.sum_stripes(b.data(), n);
+    const double av = v_.sum_stripes(b.data(), n);
+    EXPECT_EQ(std::memcmp(&as, &av, sizeof(double)), 0)
+        << "sum_stripes/adversarial n=" << n;
+  }
+  // Empty range is an exact +0.0 from the empty lane combine.
+  const double zero_s = s_.sum_stripes(nullptr, 0);
+  const double zero_v = v_.sum_stripes(nullptr, 0);
+  EXPECT_EQ(std::memcmp(&zero_s, &zero_v, sizeof(double)), 0);
+  EXPECT_EQ(zero_s, 0.0);
+}
+
+TEST_F(SimdParity, MaskedSumStripes) {
+  for (const std::size_t n : kLengths) {
+    const auto a = random_vector(n, 130 + n);
+    for (const std::size_t rot : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{5}}) {
+      const auto mask = mask_pattern(n, rot);
+      const double ss = s_.masked_sum_stripes(a.data(), mask.data(), n);
+      const double sv = v_.masked_sum_stripes(a.data(), mask.data(), n);
+      EXPECT_EQ(std::memcmp(&ss, &sv, sizeof(double)), 0)
+          << "masked_sum_stripes n=" << n << " rot=" << rot;
+
+      const auto b = adversarial_vector(n, rot);
+      const double as = s_.masked_sum_stripes(b.data(), mask.data(), n);
+      const double av = v_.masked_sum_stripes(b.data(), mask.data(), n);
+      EXPECT_EQ(std::memcmp(&as, &av, sizeof(double)), 0)
+          << "masked_sum_stripes/adversarial n=" << n << " rot=" << rot;
+    }
+    // All-ones mask must match the unmasked kernel bit for bit: a selected
+    // element takes the same lane and the same add in both.
+    const std::vector<std::uint8_t> ones(n, 1);
+    const double full = s_.sum_stripes(a.data(), n);
+    const double masked = s_.masked_sum_stripes(a.data(), ones.data(), n);
+    EXPECT_EQ(std::memcmp(&full, &masked, sizeof(double)), 0)
+        << "masked == unmasked for all-ones mask, n=" << n;
+    // All-zero mask sums to exact +0.0 (every lane adds +0.0).
+    const std::vector<std::uint8_t> zeros_mask(n, 0);
+    EXPECT_EQ(s_.masked_sum_stripes(a.data(), zeros_mask.data(), n), 0.0);
+    EXPECT_EQ(v_.masked_sum_stripes(a.data(), zeros_mask.data(), n), 0.0);
+  }
+}
+
+TEST_F(SimdParity, MaskedMax) {
+  for (const std::size_t n : kLengths) {
+    const auto a = random_vector(n, 140 + n);
+    for (const std::size_t rot : {std::size_t{0}, std::size_t{2}}) {
+      const auto mask = mask_pattern(n, rot);
+      const double ms = s_.masked_max(a.data(), mask.data(), n);
+      const double mv = v_.masked_max(a.data(), mask.data(), n);
+      EXPECT_EQ(std::memcmp(&ms, &mv, sizeof(double)), 0)
+          << "masked_max n=" << n << " rot=" << rot;
+
+      const auto b = adversarial_vector(n, rot);
+      const double as = s_.masked_max(b.data(), mask.data(), n);
+      const double av = v_.masked_max(b.data(), mask.data(), n);
+      EXPECT_EQ(std::memcmp(&as, &av, sizeof(double)), 0)
+          << "masked_max/adversarial n=" << n << " rot=" << rot;
+    }
+    // Empty selection (all-zero mask) reports -inf from both.
+    const std::vector<std::uint8_t> zeros_mask(n, 0);
+    EXPECT_EQ(s_.masked_max(a.data(), zeros_mask.data(), n), -kInf);
+    EXPECT_EQ(v_.masked_max(a.data(), zeros_mask.data(), n), -kInf);
+  }
+  // Selected NaNs never win; an all-NaN selection reports -inf.
+  const std::vector<double> nans(9, kNan);
+  const std::vector<std::uint8_t> ones(9, 1);
+  EXPECT_EQ(s_.masked_max(nans.data(), ones.data(), nans.size()), -kInf);
+  EXPECT_EQ(v_.masked_max(nans.data(), ones.data(), nans.size()), -kInf);
+}
+
 TEST(SimdDispatch, TablesAreDistinctWhenAvx2Present) {
   const Kernels& scalar = kernels_for(Dispatch::kScalar);
   EXPECT_STREQ(scalar.name, "scalar");

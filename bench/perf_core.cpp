@@ -20,6 +20,9 @@
 #include "query/snapshot_view.hpp"
 #include "la/aligned.hpp"
 #include "net/event.hpp"
+#include "region/merge.hpp"
+#include "region/orchestrator.hpp"
+#include "region/spec.hpp"
 #include "serve/aggregates.hpp"
 #include "serve/ingest.hpp"
 #include "synth/replay.hpp"
@@ -592,6 +595,58 @@ BENCHMARK(BM_IngestEvents)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Multi-region scale-out (src/region): the two ends of the campaign flow.
+// BM_RegionOrchestrate measures the warm path — re-running a 20-region
+// campaign over already-published snapshots (header hash check per region,
+// no decode). This is the acceptance metric of snapshot reuse: the warm run
+// must cost less than regenerating any single region (tracked in
+// BENCH_core.json). BM_RegionMerge measures combining 4 per-region
+// snapshots into the national view, end to end (parallel load, canonical
+// accumulation, atomic publish).
+
+std::string region_bench_root(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void BM_RegionOrchestrate(benchmark::State& state) {
+  const std::string root = region_bench_root("appscope_bench_region20");
+  std::filesystem::remove_all(root);
+  const region::RegionSet set =
+      region::RegionSet::metro_areas(20, region::RegionScale::kTiny);
+  region::OrchestratorOptions options;
+  options.root = root;
+  region::orchestrate(set, options);  // cold publish, outside the timer
+  for (auto _ : state) {
+    const region::OrchestrationReport report = region::orchestrate(set, options);
+    benchmark::DoNotOptimize(report.reused_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(set.size()));
+  std::filesystem::remove_all(root);
+}
+BENCHMARK(BM_RegionOrchestrate)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_RegionMerge(benchmark::State& state) {
+  const std::string root = region_bench_root("appscope_bench_region_merge");
+  std::filesystem::remove_all(root);
+  region::OrchestratorOptions options;
+  options.root = root;
+  const region::OrchestrationReport report = region::orchestrate(
+      region::RegionSet::metro_areas(4, region::RegionScale::kTest), options);
+  const std::vector<std::string> paths = report.snapshot_paths();
+  const std::string out = root + "/national.snapshot";
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const region::MergeStats stats = region::merge_region_snapshots(paths, out);
+    bytes = stats.bytes;
+    benchmark::DoNotOptimize(stats.communes);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+  std::filesystem::remove_all(root);
+}
+BENCHMARK(BM_RegionMerge)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // Concurrent-reader scaling: N benchmark threads share one SnapshotView and
 // one Engine and issue the hour-slice query independently. The pool is

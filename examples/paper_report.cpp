@@ -6,6 +6,7 @@
 //       ./paper_report --scale=example
 //       ./paper_report --out=report.md --csv-dir=figures_csv
 //       ./paper_report --snapshot=dataset.snap   (load-or-generate cache)
+//       ./paper_report --load=region_out/national.snapshot
 //       ./paper_report --trace=trace.json        (Chrome trace + summary)
 #include <fstream>
 #include <iostream>
@@ -39,8 +40,16 @@ int main(int argc, char** argv) {
   // --snapshot=<path>: reuse the binary dataset snapshot at <path> if it
   // exists (mmap-backed load, no regeneration), otherwise generate and save
   // it there. The report is byte-identical either way.
+  // --load=<path>: run the study on an existing snapshot as-is, whatever
+  // config produced it — the path for merged multi-region snapshots
+  // (appscope_region), whose composite config never matches a scale preset.
   const std::string snapshot = args.get_string("snapshot", "");
+  const std::string load = args.get_string("load", "");
   const core::TrafficDataset dataset = [&] {
+    if (!load.empty()) {
+      std::cerr << "loading snapshot " << load << "...\n";
+      return core::TrafficDataset::load(load);
+    }
     if (!snapshot.empty()) {
       std::cerr << "loading or generating snapshot " << snapshot << "...\n";
       return core::load_or_generate_snapshot(config, snapshot);

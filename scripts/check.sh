@@ -20,6 +20,11 @@
 #              full-load path), and assert the query.* metrics counters and
 #              the partial-mapping invariant (also enabled by
 #              APPSCOPE_QUERY_CHECK=1)
+#   --region   run a 4-region appscope_region campaign (orchestrate ->
+#              merge -> comparison report), assert the warm rerun reuses
+#              every region with a byte-identical report, and that the
+#              merged national snapshot loads through paper_report --load
+#              (also enabled by APPSCOPE_REGION_CHECK=1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +35,7 @@ RUN_METRICS="${APPSCOPE_METRICS_CHECK:-0}"
 RUN_TRACE="${APPSCOPE_TRACE_CHECK:-0}"
 RUN_SERVE="${APPSCOPE_SERVE_CHECK:-0}"
 RUN_QUERY="${APPSCOPE_QUERY_CHECK:-0}"
+RUN_REGION="${APPSCOPE_REGION_CHECK:-0}"
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
@@ -37,7 +43,8 @@ for arg in "$@"; do
     --trace) RUN_TRACE=1 ;;
     --serve) RUN_SERVE=1 ;;
     --query) RUN_QUERY=1 ;;
-    *) echo "usage: $0 [--tsan] [--metrics] [--trace] [--serve] [--query]" >&2; exit 2 ;;
+    --region) RUN_REGION=1 ;;
+    *) echo "usage: $0 [--tsan] [--metrics] [--trace] [--serve] [--query] [--region]" >&2; exit 2 ;;
   esac
 done
 
@@ -219,6 +226,57 @@ PY
     grep -q '"io.snapshot.mapped_bytes"' "$QUERY_METRICS"
     echo "query metrics OK (grep validation; python3 unavailable)"
   fi
+fi
+
+# Multi-region check (--region): drive a 4-region campaign through
+# appscope_region — per-region snapshots under a region-keyed layout, one
+# merged national snapshot, the comparison report — then prove the warm
+# rerun reuses every published snapshot with a byte-identical report, and
+# that the merged snapshot feeds the full offline study via --load.
+if [ "$RUN_REGION" != "0" ]; then
+  echo "==== appscope_region validation"
+  REGION_DIR="$BUILD_DIR/region-check"
+  REGION_METRICS="$BUILD_DIR/region-metrics.json"
+  rm -rf "$REGION_DIR" "$REGION_METRICS"
+  APPSCOPE_METRICS=1 APPSCOPE_METRICS_PATH="$REGION_METRICS" \
+    "$BUILD_DIR"/src/region/appscope_region \
+    --count=4 --scale=test --out="$REGION_DIR" \
+    --report="$REGION_DIR/report.md" 2> /dev/null
+  if [ ! -s "$REGION_DIR/report.md" ] || [ ! -s "$REGION_DIR/national.snapshot" ]; then
+    echo "FAIL: region report or national snapshot missing" >&2
+    exit 1
+  fi
+  "$BUILD_DIR"/src/region/appscope_region \
+    --count=4 --scale=test --out="$REGION_DIR" \
+    --report="$REGION_DIR/report-warm.md" 2> "$REGION_DIR/warm.log"
+  if ! cmp -s "$REGION_DIR/report.md" "$REGION_DIR/report-warm.md"; then
+    echo "FAIL: warm rerun report differs" >&2
+    exit 1
+  fi
+  if [ "$(grep -c ': reused' "$REGION_DIR/warm.log")" != "4" ]; then
+    echo "FAIL: warm rerun regenerated a region" >&2
+    cat "$REGION_DIR/warm.log" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$REGION_METRICS" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+counters = doc["counters"]
+assert counters.get("region.orchestrate.regions", 0) == 4, counters
+assert counters.get("region.orchestrate.generated", 0) == 4, counters
+assert counters.get("region.merge.regions", 0) == 4, counters
+assert counters.get("region.compare.pairs", 0) == 6, counters
+print(f"region OK: merged {counters['region.merge.communes']} communes, "
+      f"{counters['region.merge.bytes']} snapshot bytes")
+PY
+  else
+    grep -q '"region.merge.regions"' "$REGION_METRICS"
+    echo "region metrics OK (grep validation; python3 unavailable)"
+  fi
+  "$BUILD_DIR"/examples/paper_report \
+    --load="$REGION_DIR/national.snapshot" > /dev/null 2>&1
+  echo "merged national snapshot loads through paper_report --load"
 fi
 
 # Optional ThreadSanitizer pass over the parallel/determinism tests

@@ -39,8 +39,11 @@ TrafficDataset TrafficDataset::generate(const synth::ScenarioConfig& config) {
       geo::build_synthetic_country(config.country));
   auto subscribers = std::make_shared<const workload::SubscriberBase>(
       *territory, config.population);
+  // The analytic path honors the scenario's regional popularity skew; the
+  // event-level path (from_usage_records) takes its catalog from the caller.
   auto catalog = std::make_shared<const workload::ServiceCatalog>(
-      workload::ServiceCatalog::paper_services());
+      workload::with_popularity_tilt(workload::ServiceCatalog::paper_services(),
+                                     config.popularity_tilt));
 
   TrafficDataset dataset(config, territory, subscribers, catalog);
   std::unique_ptr<workload::PresenceModel> presence;
@@ -102,7 +105,11 @@ void TrafficDataset::save(const std::string& path) const {
 }
 
 TrafficDataset TrafficDataset::load(const std::string& path) {
-  io::LoadedSnapshot snap = io::read_snapshot(path);
+  return from_snapshot(io::read_snapshot(path), path);
+}
+
+TrafficDataset TrafficDataset::from_snapshot(io::LoadedSnapshot snap,
+                                             const std::string& context) {
   TrafficDataset dataset(std::move(snap.config), std::move(snap.territory),
                          std::move(snap.subscribers), std::move(snap.catalog));
   // The constructor recomputes the per-class subscriber divisors from the
@@ -111,7 +118,7 @@ TrafficDataset TrafficDataset::load(const std::string& path) {
   for (std::size_t u = 0; u < geo::kUrbanizationCount; ++u) {
     if (dataset.class_subscribers_[u] != snap.aggregates.class_subscribers[u]) {
       throw util::InputError(
-          "snapshot: " + path +
+          "snapshot: " + context +
           ": per-class subscriber counts disagree with the stored territory "
           "(corrupted or incompatible snapshot)");
     }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "geo/territory.hpp"
+#include "io/snapshot.hpp"
 #include "net/probe.hpp"
 #include "synth/generator.hpp"
 #include "synth/scenario.hpp"
@@ -50,6 +51,14 @@ class TrafficDataset {
   /// the loaded dataset reproduces the original byte for byte. Throws
   /// util::InputError on any malformed, truncated or incompatible file.
   static TrafficDataset load(const std::string& path);
+
+  /// Same reconstruction from an already-decoded snapshot (load() is
+  /// read_snapshot + this). Lets callers that hold io::LoadedSnapshot
+  /// values — e.g. the region merge layer — build datasets without
+  /// re-reading and re-validating the file. `context` labels errors
+  /// (usually the source path).
+  static TrafficDataset from_snapshot(io::LoadedSnapshot snapshot,
+                                      const std::string& context);
 
   // --- Dimensions -----------------------------------------------------------
   std::size_t service_count() const noexcept { return catalog_->size(); }

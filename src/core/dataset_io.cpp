@@ -155,6 +155,11 @@ std::string find_latest_snapshot(const std::string& directory) {
   return io::find_latest_snapshot(directory);
 }
 
+std::string find_latest_snapshot(const std::string& directory,
+                                 const std::string& subdir) {
+  return io::find_latest_snapshot(directory, subdir);
+}
+
 namespace detail {
 
 namespace {

@@ -28,9 +28,31 @@ namespace appscope::io {
 inline constexpr std::array<std::uint8_t, 8> kSnapshotMagic = {
     0x89, 'A', 'P', 'S', 'N', 'P', '\r', '\n'};
 
-/// Format version ("appscope.snapshot/1"). Readers reject newer versions.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Format version ("appscope.snapshot/1"), packed major.minor: the low 16
+/// bits carry the major version, the high 16 bits the minor. v1.0 files
+/// wrote the bare major (1), which unpacks to minor 0 — so the packing is
+/// itself backward compatible. Minor bumps are additive (v1.1: the config
+/// section carries a region identifier and popularity tilt); readers accept
+/// any minor up to their own and reject newer majors AND newer minors — a
+/// file from the future may carry sections this build cannot interpret.
+inline constexpr std::uint32_t kSnapshotVersionMajor = 1;
+inline constexpr std::uint32_t kSnapshotVersionMinor = 1;
 inline constexpr std::string_view kSnapshotSchemaName = "appscope.snapshot/1";
+
+constexpr std::uint32_t pack_snapshot_version(std::uint32_t major,
+                                              std::uint32_t minor) noexcept {
+  return (minor << 16) | (major & 0xFFFFu);
+}
+constexpr std::uint32_t snapshot_version_major(std::uint32_t v) noexcept {
+  return v & 0xFFFFu;
+}
+constexpr std::uint32_t snapshot_version_minor(std::uint32_t v) noexcept {
+  return v >> 16;
+}
+
+/// The packed version written by this build.
+inline constexpr std::uint32_t kSnapshotVersion =
+    pack_snapshot_version(kSnapshotVersionMajor, kSnapshotVersionMinor);
 
 /// Payload alignment: generous enough for any scalar column type and for
 /// cache-line-aligned bulk copies out of the mapping.

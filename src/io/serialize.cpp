@@ -83,6 +83,12 @@ std::vector<std::byte> encode_config(const synth::ScenarioConfig& config) {
   w.f64(config.mobility.work_start);
   w.f64(config.mobility.work_end);
   w.f64(config.mobility.shoulder_hours);
+  // Format v1.1 tail (snapshot minor version 1): the region identifier and
+  // the regional popularity tilt. Always written, so the region is part of
+  // the config hash and a snapshot can never silently merge into the wrong
+  // national view. decode_config accepts the shorter v1.0 encoding.
+  w.str(config.region);
+  w.f64(config.popularity_tilt);
   return std::move(w).take();
 }
 
@@ -125,6 +131,13 @@ synth::ScenarioConfig decode_config(std::span<const std::byte> bytes) {
   config.mobility.work_start = r.f64();
   config.mobility.work_end = r.f64();
   config.mobility.shoulder_hours = r.f64();
+  // v1.0 encodings end here; v1.1 appends the region identifier and the
+  // popularity tilt. Reading is length-driven, so old snapshots decode to
+  // the defaults (no region tag, untilted catalog) without a version probe.
+  if (!r.exhausted()) {
+    config.region = r.str();
+    config.popularity_tilt = r.f64();
+  }
   expect_exhausted(r, "config");
   return config;
 }

@@ -203,7 +203,7 @@ std::string find_latest_snapshot(const std::string& directory) {
   const fs::path dir(directory);
   const fs::path latest = dir / "latest.snapshot";
   std::error_code ec;
-  if (fs::exists(latest, ec)) return latest.string();
+  if (fs::is_regular_file(latest, ec)) return latest.string();
 
   // No latest.snapshot (sealing interrupted between the epoch rename and
   // the republish): fall back to the highest-numbered sealed epoch.
@@ -212,6 +212,10 @@ std::string find_latest_snapshot(const std::string& directory) {
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
     if (!name.starts_with("epoch_") || !name.ends_with(".snapshot")) continue;
+    // Region-keyed layouts nest publish dirs under this root; only regular
+    // files are candidate snapshots here.
+    std::error_code file_ec;
+    if (!entry.is_regular_file(file_ec)) continue;
     // Zero-padded indices make lexicographic order the numeric order.
     if (best_name.empty() || name > best_name) {
       best_name = name;
@@ -219,6 +223,19 @@ std::string find_latest_snapshot(const std::string& directory) {
     }
   }
   return best;
+}
+
+std::string find_latest_snapshot(const std::string& directory,
+                                 const std::string& subdir) {
+  if (subdir.empty() || subdir == "." || subdir == ".." ||
+      subdir.find('/') != std::string::npos ||
+      subdir.find('\\') != std::string::npos) {
+    throw util::InputError(
+        "find_latest_snapshot: subdirectory filter \"" + subdir +
+        "\" must be a single path component");
+  }
+  return find_latest_snapshot(
+      (std::filesystem::path(directory) / subdir).string());
 }
 
 }  // namespace appscope::io

@@ -81,9 +81,18 @@ std::uint64_t read_snapshot_config_hash(const std::string& path);
 
 /// Most recent complete snapshot in a directory the appscope_serve daemon
 /// seals epochs into: `latest.snapshot` when present, otherwise the
-/// epoch_<index>.snapshot with the highest index, otherwise "". Lives here
-/// (not core) so snapshot followers below the core layer can resolve the
-/// publish point too.
+/// epoch_<index>.snapshot with the highest index, otherwise "". Only regular
+/// files count — a subdirectory named like a snapshot (the region layer
+/// publishes `<root>/<region>/epoch_*.snapshot`) never cross-matches. Lives
+/// here (not core) so snapshot followers below the core layer can resolve
+/// the publish point too.
 std::string find_latest_snapshot(const std::string& directory);
+
+/// Same resolution restricted to `<directory>/<subdir>` — the region-keyed
+/// publish layout. `subdir` must be a single path component (no separators,
+/// not "." or ".."); anything else throws util::InputError so a region id
+/// can never escape the publish root.
+std::string find_latest_snapshot(const std::string& directory,
+                                 const std::string& subdir);
 
 }  // namespace appscope::io

@@ -170,10 +170,13 @@ void SnapshotReader::validate_header_and_table(std::span<const std::byte> head,
   ByteReader r(head.subspan(kSnapshotMagic.size(),
                             kHeaderBytes - kSnapshotMagic.size()));
   header_.version = r.u32();
-  if (header_.version == 0 || header_.version > kSnapshotVersion) {
-    fail(path_, "unsupported format version " + std::to_string(header_.version) +
-                    " (this build reads up to " +
-                    std::to_string(kSnapshotVersion) + ")");
+  const std::uint32_t major = snapshot_version_major(header_.version);
+  const std::uint32_t minor = snapshot_version_minor(header_.version);
+  if (major != kSnapshotVersionMajor || minor > kSnapshotVersionMinor) {
+    fail(path_, "unsupported format version " + std::to_string(major) + "." +
+                    std::to_string(minor) + " (this build reads up to " +
+                    std::to_string(kSnapshotVersionMajor) + "." +
+                    std::to_string(kSnapshotVersionMinor) + ")");
   }
   header_.config_hash = r.u64();
   header_.traffic_seed = r.u64();

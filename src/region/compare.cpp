@@ -1,0 +1,212 @@
+#include "region/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/correlation.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace appscope::region {
+
+namespace {
+
+/// Normalized Shannon entropy of a share vector (shares >= 0, summing to
+/// ~1); log base = vector length, so the result lives in [0, 1].
+double normalized_entropy(const std::vector<double>& shares) {
+  if (shares.size() < 2) return 0.0;
+  double h = 0.0;
+  for (const double p : shares) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h / std::log(static_cast<double>(shares.size()));
+}
+
+}  // namespace
+
+RegionFingerprint region_fingerprint(const core::TrafficDataset& dataset,
+                                     workload::Direction d) {
+  const std::size_t services = dataset.service_count();
+  const std::size_t communes = dataset.commune_count();
+
+  RegionFingerprint fp;
+  fp.region = dataset.config().region;
+  fp.communes = communes;
+  fp.subscribers = dataset.subscribers().total();
+  fp.weekly_bytes = dataset.direction_total(d);
+  fp.per_user_weekly_bytes =
+      fp.subscribers > 0
+          ? fp.weekly_bytes / static_cast<double>(fp.subscribers)
+          : 0.0;
+
+  // Per-commune service-usage vectors: volume of every service in every
+  // commune, plus the per-commune totals the share normalization needs.
+  // commune_volume[s][c]; the transposed per-commune slices below are the
+  // "per-commune service-usage fingerprints" of the report.
+  std::vector<std::vector<double>> commune_volume(services);
+  std::vector<double> commune_total(communes, 0.0);
+  fp.service_share.assign(services, 0.0);
+  for (std::size_t s = 0; s < services; ++s) {
+    commune_volume[s] = dataset.commune_totals(s, d);
+    for (std::size_t c = 0; c < communes; ++c) {
+      commune_total[c] += commune_volume[s][c];
+      fp.service_share[s] += commune_volume[s][c];
+    }
+  }
+  const double total =
+      std::accumulate(fp.service_share.begin(), fp.service_share.end(), 0.0);
+  if (total > 0.0) {
+    for (double& share : fp.service_share) share /= total;
+  }
+  fp.mix_entropy = normalized_entropy(fp.service_share);
+
+  std::size_t top = 0;
+  for (std::size_t s = 1; s < services; ++s) {
+    if (fp.service_share[s] > fp.service_share[top]) top = s;
+  }
+  fp.top_service = services > 0 ? dataset.catalog()[top].name : "";
+
+  // Geographic diversity: volume-weighted mean disagreement (1 - r²)
+  // between each commune's share vector and the region mix.
+  if (total > 0.0 && services >= 2) {
+    std::vector<double> commune_share(services);
+    double weighted_disagreement = 0.0;
+    double weight = 0.0;
+    for (std::size_t c = 0; c < communes; ++c) {
+      if (commune_total[c] <= 0.0) continue;
+      for (std::size_t s = 0; s < services; ++s) {
+        commune_share[s] = commune_volume[s][c] / commune_total[c];
+      }
+      const double r2 = stats::pearson_r2(commune_share, fp.service_share);
+      weighted_disagreement += commune_total[c] * (1.0 - r2);
+      weight += commune_total[c];
+    }
+    fp.geographic_diversity = weight > 0.0 ? weighted_disagreement / weight : 0.0;
+  }
+  return fp;
+}
+
+std::vector<UrbanRuralGap> urban_rural_divergence(
+    const core::TrafficDataset& dataset, workload::Direction d) {
+  const geo::Territory& territory = dataset.territory();
+  const std::uint64_t urban_subs =
+      dataset.subscribers().total_in(territory, geo::Urbanization::kUrban);
+  const std::uint64_t rural_subs =
+      dataset.subscribers().total_in(territory, geo::Urbanization::kRural);
+
+  std::vector<UrbanRuralGap> gaps;
+  gaps.reserve(dataset.service_count());
+  for (std::size_t s = 0; s < dataset.service_count(); ++s) {
+    UrbanRuralGap gap;
+    gap.service = dataset.catalog()[s].name;
+    double urban = 0.0;
+    double rural = 0.0;
+    for (const double v :
+         dataset.urbanization_series(s, geo::Urbanization::kUrban, d)) {
+      urban += v;
+    }
+    for (const double v :
+         dataset.urbanization_series(s, geo::Urbanization::kRural, d)) {
+      rural += v;
+    }
+    gap.urban_per_user =
+        urban_subs > 0 ? urban / static_cast<double>(urban_subs) : 0.0;
+    gap.rural_per_user =
+        rural_subs > 0 ? rural / static_cast<double>(rural_subs) : 0.0;
+    gap.ratio = gap.rural_per_user > 0.0
+                    ? gap.urban_per_user / gap.rural_per_user
+                    : 0.0;
+    gaps.push_back(std::move(gap));
+  }
+  // Largest relative gap first; name tiebreak keeps the ranking total.
+  std::sort(gaps.begin(), gaps.end(),
+            [](const UrbanRuralGap& a, const UrbanRuralGap& b) {
+              const double ga = a.ratio > 0.0 ? std::abs(std::log(a.ratio)) : 0.0;
+              const double gb = b.ratio > 0.0 ? std::abs(std::log(b.ratio)) : 0.0;
+              if (ga != gb) return ga > gb;
+              return a.service < b.service;
+            });
+  return gaps;
+}
+
+RegionComparisonReport compare_regions(
+    const std::vector<const core::TrafficDataset*>& regions,
+    const core::TrafficDataset& national, workload::Direction d) {
+  APPSCOPE_REQUIRE(!regions.empty(), "compare_regions: no regions");
+  util::ScopedSpan span("region.compare");
+
+  for (const core::TrafficDataset* r : regions) {
+    if (r->config().region.empty()) {
+      throw util::InputError(
+          "compare_regions: a dataset carries no region id");
+    }
+    if (r->service_count() != national.service_count()) {
+      throw util::InputError(
+          "compare_regions: service-count mismatch between region \"" +
+          r->config().region + "\" and the national dataset");
+    }
+    for (std::size_t s = 0; s < r->service_count(); ++s) {
+      if (r->catalog()[s].name != national.catalog()[s].name) {
+        throw util::InputError(
+            "compare_regions: catalog mismatch at index " + std::to_string(s) +
+            " for region \"" + r->config().region + "\"");
+      }
+    }
+  }
+
+  // Canonical region order, independent of the caller's.
+  std::vector<const core::TrafficDataset*> ordered = regions;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const core::TrafficDataset* a, const core::TrafficDataset* b) {
+              return a->config().region < b->config().region;
+            });
+  for (std::size_t i = 1; i < ordered.size(); ++i) {
+    if (ordered[i - 1]->config().region == ordered[i]->config().region) {
+      throw util::InputError("compare_regions: duplicate region id \"" +
+                             ordered[i]->config().region + "\"");
+    }
+  }
+
+  RegionComparisonReport report;
+  report.direction = d;
+  report.fingerprints.reserve(ordered.size());
+  for (const core::TrafficDataset* r : ordered) {
+    report.fingerprints.push_back(region_fingerprint(*r, d));
+  }
+
+  double r2_sum = 0.0;
+  for (std::size_t i = 0; i < report.fingerprints.size(); ++i) {
+    for (std::size_t j = i + 1; j < report.fingerprints.size(); ++j) {
+      RegionDivergence pair;
+      pair.region_a = report.fingerprints[i].region;
+      pair.region_b = report.fingerprints[j].region;
+      pair.mix_r2 = stats::pearson_r2(report.fingerprints[i].service_share,
+                                      report.fingerprints[j].service_share);
+      r2_sum += pair.mix_r2;
+      report.divergence.push_back(std::move(pair));
+    }
+  }
+  std::sort(report.divergence.begin(), report.divergence.end(),
+            [](const RegionDivergence& a, const RegionDivergence& b) {
+              if (a.mix_r2 != b.mix_r2) return a.mix_r2 < b.mix_r2;
+              if (a.region_a != b.region_a) return a.region_a < b.region_a;
+              return a.region_b < b.region_b;
+            });
+  report.mean_pairwise_mix_r2 =
+      report.divergence.empty()
+          ? 1.0
+          : r2_sum / static_cast<double>(report.divergence.size());
+
+  report.urban_rural = urban_rural_divergence(national, d);
+
+  if (util::MetricsRegistry::enabled()) {
+    auto& metrics = util::MetricsRegistry::global();
+    metrics.add("region.compare.regions", report.fingerprints.size());
+    metrics.add("region.compare.pairs", report.divergence.size());
+  }
+  return report;
+}
+
+}  // namespace appscope::region

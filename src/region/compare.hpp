@@ -1,0 +1,96 @@
+// appscope/region/compare.hpp
+//
+// Multi-region scale-out, layer 4: the national-scale diversity analyses.
+// Grows core::compare (which correlates two datasets over the SAME
+// territory) into cross-region comparison over DIFFERENT territories:
+//
+//  * a service-usage fingerprint per region (service mix shares, per-user
+//    volume, mix entropy) built from per-commune service-usage vectors;
+//  * a geographic diversity index per region — how much the communes of a
+//    region deviate from the region's own mix (volume-weighted);
+//  * a pairwise divergence ranking between regions (r² of mix vectors,
+//    most divergent pair first);
+//  * urban-vs-rural divergence rankings: per-service per-user volume
+//    ratios between the urban and rural classes, largest gap first.
+//
+// Everything here is a deterministic pure function of the datasets; the
+// markdown rendering in region/report.hpp is byte-stable across thread
+// counts and region orderings (inputs are re-sorted canonically).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace appscope::region {
+
+/// Service-usage fingerprint of one region.
+struct RegionFingerprint {
+  std::string region;
+  std::size_t communes = 0;
+  std::uint64_t subscribers = 0;
+  /// Weekly volume in the analysed direction.
+  double weekly_bytes = 0.0;
+  double per_user_weekly_bytes = 0.0;
+  /// Share of each catalog service in the region's volume (sums to 1).
+  std::vector<double> service_share;
+  /// Shannon entropy of the mix, normalized to [0, 1] (1 = uniform usage
+  /// across services, 0 = single-service region).
+  double mix_entropy = 0.0;
+  /// Geographic diversity: 1 - volume-weighted mean r² between each
+  /// commune's service-share vector and the region's own. 0 means every
+  /// commune uses services in the same proportions; larger values mean the
+  /// mix varies across the region's geography.
+  double geographic_diversity = 0.0;
+  /// Name of the highest-share service.
+  std::string top_service;
+};
+
+/// One region pair of the divergence ranking.
+struct RegionDivergence {
+  std::string region_a;
+  std::string region_b;
+  /// r² between the two regions' service-share vectors; low = divergent.
+  double mix_r2 = 0.0;
+};
+
+/// One service of the urban-vs-rural ranking.
+struct UrbanRuralGap {
+  std::string service;
+  double urban_per_user = 0.0;
+  double rural_per_user = 0.0;
+  /// urban_per_user / rural_per_user (0 when rural is empty).
+  double ratio = 0.0;
+};
+
+struct RegionComparisonReport {
+  workload::Direction direction = workload::Direction::kDownlink;
+  /// Canonical (id-sorted) order.
+  std::vector<RegionFingerprint> fingerprints;
+  /// Every region pair, most divergent (lowest mix r²) first.
+  std::vector<RegionDivergence> divergence;
+  double mean_pairwise_mix_r2 = 0.0;
+  /// Per-service urban/rural gaps of the merged national dataset, largest
+  /// |log ratio| first.
+  std::vector<UrbanRuralGap> urban_rural;
+};
+
+/// Fingerprint of a single dataset (a region, or the merged national view).
+RegionFingerprint region_fingerprint(const core::TrafficDataset& dataset,
+                                     workload::Direction d);
+
+/// Urban-vs-rural per-user divergence of one dataset, ranked by gap.
+std::vector<UrbanRuralGap> urban_rural_divergence(
+    const core::TrafficDataset& dataset, workload::Direction d);
+
+/// Full cross-region comparison. `regions` are the per-region datasets
+/// (each must carry a unique non-empty config().region); `national` is the
+/// merged dataset the urban-vs-rural ranking is computed on. All datasets
+/// must share one catalog (same service names). Throws util::InputError on
+/// violations.
+RegionComparisonReport compare_regions(
+    const std::vector<const core::TrafficDataset*>& regions,
+    const core::TrafficDataset& national, workload::Direction d);
+
+}  // namespace appscope::region

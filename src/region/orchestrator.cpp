@@ -1,0 +1,165 @@
+#include "region/orchestrator.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "core/dataset.hpp"
+#include "io/serialize.hpp"
+#include "io/snapshot.hpp"
+#include "io/snapshot_reader.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
+#include "util/trace.hpp"
+
+namespace appscope::region {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string epoch_filename(std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "epoch_%06llu.snapshot",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+void rename_or_throw(const fs::path& from, const fs::path& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    throw util::InputError("orchestrate: cannot publish " + to.string() +
+                           ": " + ec.message());
+  }
+}
+
+/// Seals one freshly generated region snapshot with the serve-daemon
+/// publish sequence: write the epoch under a .tmp name, atomically rename
+/// it into place, then republish latest.snapshot the same way. A crash
+/// between the two renames leaves a valid epoch file that
+/// find_latest_snapshot still resolves.
+std::string publish(const core::TrafficDataset& dataset, const fs::path& dir,
+                    std::uint64_t epoch) {
+  const fs::path epoch_path = dir / epoch_filename(epoch);
+  const fs::path epoch_tmp = dir / (epoch_filename(epoch) + ".tmp");
+  dataset.save(epoch_tmp.string());
+  rename_or_throw(epoch_tmp, epoch_path);
+
+  const fs::path latest_tmp = dir / "latest.snapshot.tmp";
+  std::error_code ec;
+  fs::copy_file(epoch_path, latest_tmp, fs::copy_options::overwrite_existing,
+                ec);
+  if (ec) {
+    throw util::InputError("orchestrate: cannot stage latest.snapshot in " +
+                           dir.string() + ": " + ec.message());
+  }
+  rename_or_throw(latest_tmp, dir / "latest.snapshot");
+  return epoch_path.string();
+}
+
+RegionRun run_shard(const RegionSpec& spec, const OrchestratorOptions& options) {
+  util::ScopedSpan span("region.shard");
+
+  RegionRun run;
+  run.id = spec.id;
+  run.config_hash = io::config_hash(spec.config);
+
+  const fs::path dir(region_directory(options.root, spec.id));
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw util::InputError("orchestrate: cannot create " + dir.string() +
+                           ": " + ec.message());
+  }
+
+  if (options.reuse_snapshots) {
+    const std::string existing =
+        io::find_latest_snapshot(options.root, spec.id);
+    if (!existing.empty()) {
+      // Lazy open: only the header window is mapped and checked — the reuse
+      // decision never pays for decoding or CRC-ing the payload sections.
+      const io::SnapshotReader reader(existing, io::ValidationMode::kLazy);
+      if (reader.header().config_hash != run.config_hash) {
+        throw util::InputError(
+            "orchestrate: " + existing +
+            ": published snapshot was produced by a different config than "
+            "region \"" + spec.id + "\" (regenerate, or point --out at a "
+            "fresh directory)");
+      }
+      run.reused = true;
+      run.snapshot_path = existing;
+      run.bytes = static_cast<std::uint64_t>(fs::file_size(existing, ec));
+      run.communes = reader.header().communes;
+      return run;
+    }
+  }
+
+  const core::TrafficDataset dataset = core::TrafficDataset::generate(spec.config);
+  run.snapshot_path = publish(dataset, dir, options.epoch);
+  run.bytes = static_cast<std::uint64_t>(fs::file_size(run.snapshot_path, ec));
+  run.communes = dataset.commune_count();
+  return run;
+}
+
+}  // namespace
+
+std::size_t OrchestrationReport::generated_count() const noexcept {
+  std::size_t n = 0;
+  for (const RegionRun& r : runs) n += r.reused ? 0 : 1;
+  return n;
+}
+
+std::size_t OrchestrationReport::reused_count() const noexcept {
+  return runs.size() - generated_count();
+}
+
+std::vector<std::string> OrchestrationReport::snapshot_paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(runs.size());
+  for (const RegionRun& r : runs) paths.push_back(r.snapshot_path);
+  return paths;
+}
+
+std::string region_directory(const std::string& root, const std::string& id) {
+  if (!valid_region_id(id)) {
+    throw util::InputError("region_directory: invalid region id \"" + id +
+                           "\"");
+  }
+  return (fs::path(root) / id).string();
+}
+
+OrchestrationReport orchestrate(const RegionSet& regions,
+                                const OrchestratorOptions& options) {
+  if (options.root.empty()) {
+    throw util::InputError("orchestrate: publish root must not be empty");
+  }
+  if (options.threads != 0) {
+    util::ThreadPool::set_global_threads(options.threads);
+  }
+
+  util::ScopedSpan span("region.orchestrate");
+
+  OrchestrationReport report;
+  report.runs.resize(regions.size());
+  // One pool task per region: shards are independent (distinct directories,
+  // distinct result slots), and each shard's inner parallel stages execute
+  // inline on its worker, so the fan-out changes wall-clock only.
+  util::ThreadPool::global().run(regions.size(), [&](std::size_t i) {
+    report.runs[i] = run_shard(regions[i], options);
+  });
+
+  if (util::MetricsRegistry::enabled()) {
+    auto& metrics = util::MetricsRegistry::global();
+    metrics.add("region.orchestrate.regions", report.runs.size());
+    metrics.add("region.orchestrate.generated", report.generated_count());
+    metrics.add("region.orchestrate.reused", report.reused_count());
+    std::uint64_t bytes = 0;
+    for (const RegionRun& r : report.runs) bytes += r.bytes;
+    metrics.add("region.orchestrate.bytes", bytes);
+  }
+  return report;
+}
+
+}  // namespace appscope::region

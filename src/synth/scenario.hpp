@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "geo/territory.hpp"
 #include "workload/mobility.hpp"
@@ -13,6 +14,12 @@
 namespace appscope::synth {
 
 struct ScenarioConfig {
+  /// Identifier of the region/territory this scenario describes. Empty for
+  /// the classic single synthetic country; the region::RegionSet presets set
+  /// it to the metro-area key ("paris", "lyon", ...). Part of the snapshot
+  /// config encoding (format v1.1) and therefore of the config hash, so
+  /// snapshots from different regions can never be confused for one another.
+  std::string region;
   geo::CountryConfig country;
   workload::PopulationConfig population;
   /// Seed for traffic randomness (spatial residuals, temporal noise).
@@ -27,6 +34,13 @@ struct ScenarioConfig {
   /// ablation_mobility bench quantifies its effect.
   bool enable_mobility = false;
   workload::MobilityConfig mobility;
+  /// Regional service-popularity skew: each catalog service's per-user rates
+  /// are scaled by exp(tilt * z), z in [-0.5, 0.5] being its normalized
+  /// downlink rank (head services at +0.5). Positive tilt concentrates the
+  /// region's traffic on the popular head, negative tilt fattens the tail —
+  /// the per-metro popularity heterogeneity of NetMob23's 20-city
+  /// cartography. 0 leaves the paper catalog untouched.
+  double popularity_tilt = 0.0;
 
   /// Small scenario for unit/integration tests (~400 communes).
   static ScenarioConfig test_scale();

@@ -340,6 +340,29 @@ double ServiceCatalog::category_share(Category c, Direction d) const {
   return cat / total;
 }
 
+ServiceCatalog with_popularity_tilt(const ServiceCatalog& catalog, double tilt) {
+  if (tilt == 0.0) return catalog;
+  const std::size_t n = catalog.size();
+  std::vector<ServiceIndex> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&catalog](ServiceIndex a, ServiceIndex b) {
+                     return catalog[a].urban_rate(Direction::kDownlink) >
+                            catalog[b].urban_rate(Direction::kDownlink);
+                   });
+  std::vector<ServiceSpec> specs = catalog.services();
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const double z =
+        n > 1 ? 0.5 - static_cast<double>(rank) / static_cast<double>(n - 1)
+              : 0.0;
+    const double factor = std::exp(tilt * z);
+    for (double& rate : specs[order[rank]].urban_weekly_bytes_per_user) {
+      rate *= factor;
+    }
+  }
+  return ServiceCatalog(std::move(specs));
+}
+
 double default_zipf_exponent(Direction d) noexcept {
   // Tail-law exponents calibrated so the *measured* top-half fit of the
   // assembled 500-service ranking lands on the paper's Fig. 2 values

@@ -82,6 +82,15 @@ class ServiceCatalog {
   std::vector<ServiceSpec> services_;
 };
 
+/// Regional popularity skew: a copy of `catalog` with every service's
+/// per-user rates (both directions) scaled by exp(tilt * z), z in
+/// [-0.5, 0.5] the service's normalized downlink-rank position (head
+/// services at +0.5, ties broken by catalog index so the map is a pure
+/// function of the catalog). Positive tilt concentrates traffic on the
+/// popular head, negative tilt fattens the tail. tilt == 0 returns the
+/// catalog unchanged.
+ServiceCatalog with_popularity_tilt(const ServiceCatalog& catalog, double tilt);
+
 /// Synthesizes the full >500-service ranking of Fig. 2: the catalog's
 /// services provide the head; tail ranks continue the head's Zipf law with
 /// the given exponent, and ranks past the midpoint decay with an additional

@@ -184,5 +184,49 @@ TEST(DatasetIo, FindLatestSnapshotForwardsToIo) {
   EXPECT_EQ(find_latest_snapshot(e.dir.string()), e.latest());
 }
 
+TEST(DatasetIo, FindLatestSnapshotIgnoresRegionSubdirectories) {
+  // The region orchestrator nests publish dirs under one root
+  // (<root>/<region>/epoch_*.snapshot). Resolution at the root must never
+  // cross-match into them — neither via directory names that look like
+  // snapshots nor via their contents.
+  EpochDir e("appscope_epoch_nested");
+  fs::create_directories(e.dir / "paris");
+  { std::ofstream((e.dir / "paris" / "epoch_000007.snapshot").string()) << "x"; }
+  EXPECT_EQ(find_latest_snapshot(e.dir.string()), "");
+
+  // Even a directory NAMED like a snapshot is not a snapshot.
+  fs::create_directories(e.dir / "epoch_000009.snapshot");
+  fs::create_directories(e.dir / "latest.snapshot");
+  EXPECT_EQ(find_latest_snapshot(e.dir.string()), "");
+
+  { std::ofstream((e.dir / "epoch_000001.snapshot").string()) << "x"; }
+  EXPECT_EQ(find_latest_snapshot(e.dir.string()),
+            (e.dir / "epoch_000001.snapshot").string());
+}
+
+TEST(DatasetIo, FindLatestSnapshotSubdirectoryFilter) {
+  EpochDir e("appscope_epoch_subdir");
+  fs::create_directories(e.dir / "paris");
+  fs::create_directories(e.dir / "lyon");
+  { std::ofstream((e.dir / "paris" / "epoch_000002.snapshot").string()) << "x"; }
+  { std::ofstream((e.dir / "lyon" / "latest.snapshot").string()) << "x"; }
+  { std::ofstream((e.dir / "epoch_000099.snapshot").string()) << "x"; }
+
+  // The filter resolves inside exactly one region directory; siblings and
+  // the root's own snapshots are invisible.
+  EXPECT_EQ(find_latest_snapshot(e.dir.string(), "paris"),
+            (e.dir / "paris" / "epoch_000002.snapshot").string());
+  EXPECT_EQ(find_latest_snapshot(e.dir.string(), "lyon"),
+            (e.dir / "lyon" / "latest.snapshot").string());
+  EXPECT_EQ(find_latest_snapshot(e.dir.string(), "nice"), "");
+
+  // A filter that is not a single path component can never escape the root.
+  EXPECT_THROW(find_latest_snapshot(e.dir.string(), ""), util::InputError);
+  EXPECT_THROW(find_latest_snapshot(e.dir.string(), "."), util::InputError);
+  EXPECT_THROW(find_latest_snapshot(e.dir.string(), ".."), util::InputError);
+  EXPECT_THROW(find_latest_snapshot(e.dir.string(), "a/b"), util::InputError);
+  EXPECT_THROW(find_latest_snapshot(e.dir.string(), "a\\b"), util::InputError);
+}
+
 }  // namespace
 }  // namespace appscope::core

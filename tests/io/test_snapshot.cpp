@@ -330,6 +330,73 @@ TEST(SnapshotCorruption, EmptyAndForeignFilesRejected) {
       "cannot open");
 }
 
+// --- Format v1.1: region id + popularity tilt in the config section ---------
+
+TEST(SnapshotFormatV11, VersionPackingRoundTrips) {
+  EXPECT_EQ(snapshot_version_major(kSnapshotVersion), kSnapshotVersionMajor);
+  EXPECT_EQ(snapshot_version_minor(kSnapshotVersion), kSnapshotVersionMinor);
+  // v1.0 files wrote the bare major as the version word; it must unpack as
+  // minor 0 so old snapshots keep reading.
+  EXPECT_EQ(snapshot_version_major(1), 1u);
+  EXPECT_EQ(snapshot_version_minor(1), 0u);
+}
+
+TEST(SnapshotFormatV11, RegionAndTiltRoundTripAndChangeTheHash) {
+  synth::ScenarioConfig cfg = synth::ScenarioConfig::test_scale();
+  cfg.region = "paris";
+  cfg.popularity_tilt = 0.25;
+  const synth::ScenarioConfig back = decode_config(encode_config(cfg));
+  EXPECT_EQ(back.region, "paris");
+  EXPECT_EQ(back.popularity_tilt, 0.25);
+
+  // The region identifier is part of the config hash: two regions with
+  // otherwise identical parameters must never match each other's snapshots.
+  synth::ScenarioConfig other = cfg;
+  other.region = "lyon";
+  EXPECT_NE(config_hash(cfg), config_hash(other));
+  other = cfg;
+  other.popularity_tilt = 0.0;
+  EXPECT_NE(config_hash(cfg), config_hash(other));
+}
+
+TEST(SnapshotFormatV11, ReadsFormatV10ConfigWithoutTail) {
+  // A v1.0 config section simply ends before the v1.1 tail. With an empty
+  // region and zero tilt the tail is exactly u32 strlen + f64 = 12 bytes,
+  // so stripping it reproduces the v1.0 encoding; decode must default the
+  // new fields instead of throwing.
+  const synth::ScenarioConfig cfg = synth::ScenarioConfig::test_scale();
+  ASSERT_TRUE(cfg.region.empty());
+  ASSERT_EQ(cfg.popularity_tilt, 0.0);
+  std::vector<std::byte> bytes = encode_config(cfg);
+  ASSERT_GT(bytes.size(), 12u);
+  bytes.resize(bytes.size() - 12);
+  const synth::ScenarioConfig back = decode_config(bytes);
+  EXPECT_EQ(back.region, "");
+  EXPECT_EQ(back.popularity_tilt, 0.0);
+  EXPECT_EQ(back.country.commune_count, cfg.country.commune_count);
+}
+
+TEST(SnapshotFormatV11, WrittenFilesCarryPackedVersion) {
+  const SnapshotReader reader(base_snapshot());
+  EXPECT_EQ(reader.header().version,
+            pack_snapshot_version(kSnapshotVersionMajor, kSnapshotVersionMinor));
+}
+
+TEST(SnapshotFormatV11, FutureMinorVersionRejected) {
+  // Same major, newer minor: this build must refuse (minor bumps add fields
+  // readers of the same minor understand; older readers cannot).
+  const auto path = corrupted("minor.snapshot", [](std::vector<char>& b) {
+    // Version u32 (LE) after the 8-byte magic: set to pack(1, 2).
+    b[8] = 1;
+    b[9] = 0;
+    b[10] = 2;
+    b[11] = 0;
+  });
+  expect_input_error([&] { SnapshotReader reader(path); },
+                     "unsupported format version 1.2");
+  std::filesystem::remove(path);
+}
+
 TEST(SnapshotCorruption, ChecksumFailureIncrementsMetric) {
   const auto path = corrupted("metric.snapshot", [](std::vector<char>& b) {
     b[kPayloadStart] = static_cast<char>(b[kPayloadStart] ^ 0x01);

@@ -14,7 +14,10 @@
 #   --serve    run the appscope_serve ingest daemon for a short soak,
 #              assert the metrics JSON (net.ingested, net.sampled,
 #              serve.queue.depth) and that the sealed epoch snapshot loads
-#              through paper_report (also enabled by APPSCOPE_SERVE_CHECK=1)
+#              through paper_report; then rerun throttled with the live
+#              admin endpoint attached (--admin-port=0), scrape /healthz and
+#              /metrics mid-run, and lint the Prometheus exposition with
+#              scripts/promcheck.py (also enabled by APPSCOPE_SERVE_CHECK=1)
 #   --query    seal a test-scale snapshot, run appscope_query on the lazy
 #              read path with --check (bitwise cross-validation against the
 #              full-load path), and assert the query.* metrics counters and
@@ -178,6 +181,53 @@ PY
   "$BUILD_DIR"/examples/paper_report --scale=test \
     --snapshot="$SERVE_DIR/latest.snapshot" > /dev/null 2>&1
   echo "serve sealed snapshot loads through paper_report"
+
+  # Live telemetry scrape: rerun the daemon throttled with the admin plane
+  # on an ephemeral port (printed at startup), pull /healthz and /metrics
+  # mid-run, lint the exposition, then SIGTERM and expect a clean exit.
+  fetch() {
+    if command -v curl > /dev/null 2>&1; then
+      curl -fsS --max-time 5 "$1"
+    else
+      python3 -c 'import sys, urllib.request
+sys.stdout.write(urllib.request.urlopen(sys.argv[1], timeout=5).read().decode())' "$1"
+    fi
+  }
+  if command -v curl > /dev/null 2>&1 || command -v python3 > /dev/null 2>&1; then
+    echo "==== live admin endpoint scrape"
+    ADMIN_LOG="$BUILD_DIR/serve-admin.log"
+    ADMIN_PROM="$BUILD_DIR/serve-metrics.prom"
+    rm -f "$ADMIN_LOG" "$ADMIN_PROM"
+    "$BUILD_DIR"/src/serve/appscope_serve \
+      --scale=test --weeks=100 --rate=60000 --epoch-seconds=21600 \
+      --admin-port=0 --snapshot-dir="$BUILD_DIR/serve-admin-check" \
+      2> "$ADMIN_LOG" &
+    SERVE_PID=$!
+    ADMIN_PORT=""
+    for _ in $(seq 1 100); do
+      ADMIN_PORT="$(sed -n 's|.*admin endpoint on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$ADMIN_LOG")"
+      [ -n "$ADMIN_PORT" ] && break
+      sleep 0.1
+    done
+    if [ -z "$ADMIN_PORT" ]; then
+      echo "FAIL: admin endpoint never came up" >&2
+      kill "$SERVE_PID" 2> /dev/null || true
+      exit 1
+    fi
+    sleep 2  # let a couple of epochs seal so the latency histograms exist
+    fetch "http://127.0.0.1:$ADMIN_PORT/healthz" | grep -qx ok
+    fetch "http://127.0.0.1:$ADMIN_PORT/metrics" > "$ADMIN_PROM"
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID"
+    grep -q '^net_ingested ' "$ADMIN_PROM"
+    grep -q '^obs_health_healthy 1' "$ADMIN_PROM"
+    if command -v python3 > /dev/null 2>&1; then
+      python3 scripts/promcheck.py "$ADMIN_PROM"
+    fi
+    echo "admin endpoint scrape OK on port $ADMIN_PORT"
+  else
+    echo "skipping admin scrape (neither curl nor python3 available)"
+  fi
 fi
 
 # Query check (--query): seal a test-scale snapshot, answer a slice over it

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition (format 0.0.4) document.
+
+Validates what /metrics serves — stdin or a file argument:
+
+  * metric and family names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  * every sample line parses as  name[{labels}] value  with a finite or
+    +Inf/-Inf/NaN value;
+  * every family has # HELP and # TYPE lines before its first sample, and
+    TYPE is one of counter/gauge/histogram/summary/untyped;
+  * samples agree with their family's declared TYPE (histograms use the
+    _bucket/_sum/_count suffixes, counters and gauges use the bare name);
+  * histogram `le` buckets are cumulative (non-decreasing), end with a
+    +Inf bucket, and the +Inf bucket equals the _count sample;
+  * no family or sample (same name + label set) is emitted twice.
+
+Exit status: 0 when clean, 1 with one line per problem on stderr.
+Usage:  promcheck.py [exposition.txt]   |   curl .../metrics | promcheck.py
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>-?\d+))?$"
+)
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+SUMMARY_SUFFIXES = ("_sum", "_count")
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)  # raises ValueError on garbage
+
+
+def family_of(name, types):
+    """Maps a sample name to its declared family, stripping histogram and
+    summary suffixes when that family exists."""
+    if name in types:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def check(lines):
+    problems = []
+    helps = set()
+    types = {}
+    seen_samples = set()
+    # family -> list of (le, cumulative_count); family -> count sample value
+    buckets = {}
+    counts = {}
+
+    def problem(lineno, message):
+        problems.append("promcheck: line %d: %s" % (lineno, message))
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                problem(lineno, "malformed HELP line: %r" % line)
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name):
+                problem(lineno, "illegal metric name in HELP: %r" % name)
+            if name in helps:
+                problem(lineno, "duplicate HELP for %s" % name)
+            helps.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problem(lineno, "malformed TYPE line: %r" % line)
+                continue
+            name, kind = parts[2], parts[3]
+            if not NAME_RE.match(name):
+                problem(lineno, "illegal metric name in TYPE: %r" % name)
+            if kind not in TYPES:
+                problem(lineno, "unknown TYPE %r for %s" % (kind, name))
+            if name in types:
+                problem(lineno, "duplicate TYPE for %s" % name)
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            problem(lineno, "unparseable sample line: %r" % line)
+            continue
+        name = match.group("name")
+        labels_text = match.group("labels")
+        try:
+            value = parse_value(match.group("value"))
+        except ValueError:
+            problem(lineno, "bad sample value %r" % match.group("value"))
+            continue
+
+        labels = {}
+        if labels_text:
+            for part in labels_text.split(","):
+                label_match = LABEL_RE.match(part.strip())
+                if not label_match:
+                    problem(lineno, "bad label pair %r" % part)
+                    continue
+                labels[label_match.group(1)] = label_match.group(2)
+
+        sample_key = (name, tuple(sorted(labels.items())))
+        if sample_key in seen_samples:
+            problem(lineno, "duplicate sample %s%s" % (name, labels_text or ""))
+        seen_samples.add(sample_key)
+
+        family = family_of(name, types)
+        if family not in types:
+            problem(lineno, "sample %s has no # TYPE declaration" % name)
+            continue
+        if family not in helps:
+            problem(lineno, "sample %s has no # HELP declaration" % name)
+        kind = types[family]
+
+        if kind == "histogram":
+            if not name.endswith(HISTOGRAM_SUFFIXES) and name != family:
+                problem(lineno, "histogram %s has non-histogram sample %s"
+                        % (family, name))
+            if name == family:
+                problem(lineno, "histogram %s emits a bare sample" % family)
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problem(lineno, "%s bucket without le label" % family)
+                else:
+                    try:
+                        le = parse_value(labels["le"])
+                        buckets.setdefault(family, []).append(
+                            (lineno, le, value))
+                    except ValueError:
+                        problem(lineno, "bad le value %r" % labels["le"])
+            if name.endswith("_count"):
+                counts[family] = (lineno, value)
+        elif kind in ("counter", "gauge"):
+            if name != family:
+                problem(lineno, "%s %s has suffixed sample %s"
+                        % (kind, family, name))
+            if kind == "counter" and (value < 0 or math.isnan(value)):
+                problem(lineno, "counter %s has negative/NaN value" % name)
+
+    for family, series in sorted(buckets.items()):
+        prev_le = -math.inf
+        prev_cum = -1.0
+        saw_inf = False
+        for lineno, le, cum in series:
+            if le <= prev_le:
+                problem(lineno, "%s le buckets not increasing" % family)
+            if cum < prev_cum:
+                problem(lineno, "%s bucket counts decrease (not cumulative)"
+                        % family)
+            prev_le, prev_cum = le, cum
+            if math.isinf(le) and le > 0:
+                saw_inf = True
+                if family in counts and cum != counts[family][1]:
+                    problem(lineno, "%s +Inf bucket %g != _count %g"
+                            % (family, cum, counts[family][1]))
+        if not saw_inf:
+            problem(series[-1][0], "%s has no +Inf bucket" % family)
+
+    return problems
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2 and sys.argv[1] not in ("-",):
+        with open(sys.argv[1], "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = sys.stdin.readlines()
+
+    if not any(line.strip() for line in lines):
+        print("promcheck: empty exposition", file=sys.stderr)
+        return 1
+
+    problems = check(lines)
+    for message in problems:
+        print(message, file=sys.stderr)
+    if problems:
+        print("promcheck: %d problem(s)" % len(problems), file=sys.stderr)
+        return 1
+    families = sum(1 for line in lines if line.startswith("# TYPE "))
+    print("promcheck: OK (%d families)" % families)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

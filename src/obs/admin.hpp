@@ -1,0 +1,88 @@
+// appscope/obs/admin.hpp
+//
+// AdminServer: the minimal blocking HTTP/1.1 endpoint of the telemetry
+// plane. Plain POSIX sockets, no third-party dependency, one accept thread
+// that serves connections serially — admin traffic is a handful of scrapes
+// per second, so a request pipeline would be complexity without a payload.
+// Bounded everywhere: request reads are capped (kMaxRequestBytes), slow
+// clients are cut off by a socket timeout, and the listen backlog bounds
+// concurrent connection attempts.
+//
+// Lifecycle: start() binds (SO_REUSEADDR; port 0 picks an ephemeral port,
+// readable via port() — the tests use this), spawns the accept loop;
+// stop() shuts the listening socket down, which unblocks accept(2), and
+// joins. The destructor stops. Handlers are registered per exact path
+// before start() and run on the accept thread; they return status + body
+// and the server frames the HTTP/1.1 response (Content-Length, Connection:
+// close).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace appscope::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+struct AdminOptions {
+  /// TCP port; 0 binds an ephemeral port (see AdminServer::port()).
+  std::uint16_t port = 0;
+  /// Bind address; the admin plane is operator tooling, loopback by
+  /// default. "0.0.0.0" exposes it on all interfaces.
+  std::string bind_address = "127.0.0.1";
+  /// listen(2) backlog: connection attempts beyond it are refused.
+  int backlog = 16;
+  /// Per-connection socket read/write timeout.
+  int io_timeout_ms = 2000;
+};
+
+class AdminServer {
+ public:
+  explicit AdminServer(AdminOptions options = {});
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers `handler` for exact-match `path` (query strings are
+  /// stripped before matching). Call before start().
+  void handle(std::string path,
+              std::function<HttpResponse(const std::string& path)> handler);
+
+  /// Binds, listens and spawns the accept thread. Throws util::InputError
+  /// when the socket cannot be bound. Idempotent.
+  void start();
+  /// Unblocks the accept loop and joins. Idempotent; destructor calls it.
+  void stop();
+
+  bool running() const noexcept { return listen_fd_ >= 0; }
+  /// The bound port (resolved after start(), also for port-0 binds).
+  std::uint16_t port() const noexcept { return port_; }
+  std::uint64_t requests() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kMaxRequestBytes = 8192;
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  const AdminOptions options_;
+  std::map<std::string, std::function<HttpResponse(const std::string&)>>
+      handlers_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace appscope::obs

@@ -1,0 +1,50 @@
+// appscope/obs/ring.hpp
+//
+// Fixed-capacity time-series ring for the live telemetry plane: one ring
+// per retained metric series, holding the most recent kRingCapacity sampler
+// ticks. Pushing overwrites the oldest slot — no allocation ever happens
+// after construction, which is what lets the obs::MetricsSampler tick on
+// the 1 s cadence without touching the allocator in steady state.
+//
+// Cache-line aligned like the registry/trace shards (DESIGN.md §4c): the
+// sampler thread writes rings while admin scrapes read copies under the
+// sampler mutex; alignment keeps two adjacent series from sharing a line.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace appscope::obs {
+
+/// Retained ticks per series: two minutes of history at the default 1 s
+/// sampling interval, a power of two so the modulo folds to a mask.
+inline constexpr std::size_t kRingCapacity = 128;
+
+struct alignas(64) SampleRing {
+  std::array<double, kRingCapacity> slots{};
+  /// Total pushes ever; slots[(head - 1) & mask] is the newest value.
+  std::uint64_t head = 0;
+
+  void push(double value) noexcept {
+    slots[head & (kRingCapacity - 1)] = value;
+    ++head;
+  }
+
+  std::size_t size() const noexcept {
+    return head < kRingCapacity ? static_cast<std::size_t>(head)
+                                : kRingCapacity;
+  }
+
+  bool empty() const noexcept { return head == 0; }
+
+  /// i-th most recent value: back(0) is the newest, back(size() - 1) the
+  /// oldest retained. Precondition: i < size().
+  double back(std::size_t i) const noexcept {
+    return slots[(head - 1 - i) & (kRingCapacity - 1)];
+  }
+
+  double newest() const noexcept { return back(0); }
+};
+
+}  // namespace appscope::obs

@@ -1,0 +1,221 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/json.hpp"
+#include "util/prometheus.hpp"
+#include "util/trace.hpp"
+#include "util/trace_analysis.hpp"
+
+namespace appscope::obs {
+
+namespace {
+
+const char* kind_name(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kCounterRate: return "counter_rate";
+    case SeriesKind::kGauge: return "gauge";
+    case SeriesKind::kHistogramRate: return "histogram_rate";
+  }
+  return "unknown";
+}
+
+util::Json ring_to_json(const SampleRing& ring) {
+  util::Json::Array values;
+  // Oldest to newest, so the series reads left-to-right in time.
+  for (std::size_t i = ring.size(); i-- > 0;) {
+    values.emplace_back(ring.back(i));
+  }
+  return util::Json(std::move(values));
+}
+
+double newest_or_zero(const MetricsSampler& sampler, const char* name) {
+  SeriesSnapshot snap;
+  if (!sampler.series(name, snap) || snap.ring.empty()) return 0.0;
+  return snap.ring.newest();
+}
+
+std::uint64_t total_or_zero(const MetricsSampler& sampler, const char* name) {
+  SeriesSnapshot snap;
+  if (!sampler.series(name, snap)) return 0;
+  return snap.total;
+}
+
+}  // namespace
+
+TelemetryPlane::TelemetryPlane(TelemetryOptions options)
+    : options_(std::move(options)),
+      sampler_(options_.sampler),
+      watchdog_(sampler_, options_.watchdog),
+      admin_(options_.admin) {
+  admin_.handle("/metrics", [](const std::string&) {
+    HttpResponse response;
+    response.content_type = std::string(util::kPrometheusContentType);
+    response.body =
+        util::metrics_to_prometheus(util::MetricsRegistry::global().snapshot());
+    return response;
+  });
+  admin_.handle("/healthz", [this](const std::string&) {
+    const HealthStatus status = watchdog_.last();
+    HttpResponse response;
+    if (status.healthy) {
+      response.body = "ok\n";
+    } else {
+      response.status = 503;
+      response.body = "stalled: " + status.reason + "\n";
+    }
+    return response;
+  });
+  admin_.handle("/statusz", [this](const std::string&) {
+    HttpResponse response;
+    response.content_type = "application/json; charset=utf-8";
+    response.body = render_statusz();
+    return response;
+  });
+  admin_.handle("/tracez", [this](const std::string&) {
+    HttpResponse response;
+    response.content_type = "application/json; charset=utf-8";
+    response.body = render_tracez();
+    return response;
+  });
+  admin_.handle("/", [](const std::string&) {
+    HttpResponse response;
+    response.body =
+        "appscope admin endpoints: /metrics /healthz /statusz /tracez\n";
+    return response;
+  });
+}
+
+TelemetryPlane::~TelemetryPlane() { stop(); }
+
+void TelemetryPlane::start() {
+  if (started_) return;
+  // Live telemetry implies instrumentation, same as enable_trace_export.
+  util::MetricsRegistry::set_enabled(true);
+  sampler_.set_on_sample([this] { watchdog_.evaluate(); });
+  sampler_.start();
+  admin_.start();
+  started_ = true;
+}
+
+void TelemetryPlane::stop() {
+  if (!started_) return;
+  admin_.stop();
+  sampler_.stop();
+  started_ = false;
+}
+
+std::string TelemetryPlane::render_statusz() const {
+  const std::vector<SeriesSnapshot> series = sampler_.series();
+  const HealthStatus health = watchdog_.last();
+
+  util::Json::Object doc;
+  doc.emplace("schema", util::Json("appscope.statusz/1"));
+  doc.emplace("uptime_seconds", util::Json(sampler_.uptime_seconds()));
+  doc.emplace("samples", util::Json(sampler_.samples()));
+  doc.emplace("sample_interval_ms",
+              util::Json(static_cast<std::int64_t>(
+                  options_.sampler.interval.count())));
+  doc.emplace("healthy", util::Json(health.healthy));
+  doc.emplace("health_reason", util::Json(health.reason));
+  doc.emplace("admin_requests", util::Json(admin_.requests()));
+
+  // Serving-tier summary figures, all derived from the sampled series.
+  doc.emplace("epoch", util::Json(total_or_zero(sampler_, "serve.epochs.sealed")));
+  doc.emplace("queue_depth",
+              util::Json(newest_or_zero(sampler_, "serve.queue.depth.max")));
+  const double ingested_rate = newest_or_zero(sampler_, "net.ingested");
+  const double shed_rate_abs = newest_or_zero(sampler_, "net.sampled");
+  const double offered = ingested_rate + shed_rate_abs;
+  doc.emplace("ingest_rate_per_second", util::Json(ingested_rate));
+  doc.emplace("shed_rate",
+              util::Json(offered > 0.0 ? shed_rate_abs / offered : 0.0));
+
+  util::Json::Object series_obj;
+  for (const SeriesSnapshot& s : series) {
+    util::Json::Object entry;
+    entry.emplace("kind", util::Json(kind_name(s.kind)));
+    entry.emplace("total", util::Json(s.total));
+    entry.emplace("values", ring_to_json(s.ring));
+    if (s.kind == SeriesKind::kHistogramRate) {
+      entry.emplace("p99", ring_to_json(s.p99));
+    }
+    series_obj.emplace(s.name, util::Json(std::move(entry)));
+  }
+  doc.emplace("series", util::Json(std::move(series_obj)));
+  return util::Json(std::move(doc)).dump(2) + "\n";
+}
+
+std::string TelemetryPlane::render_tracez() const {
+  const std::vector<util::TraceEvent> events =
+      util::TraceRecorder::global().snapshot();
+  const util::TraceSummary summary = util::summarize_trace(events);
+
+  util::Json::Object doc;
+  doc.emplace("schema", util::Json("appscope.tracez/1"));
+  doc.emplace("span_count",
+              util::Json(static_cast<std::uint64_t>(events.size())));
+  doc.emplace("dropped",
+              util::Json(util::TraceRecorder::global().dropped_events()));
+  doc.emplace("root", util::Json(summary.root_name));
+  doc.emplace("critical_path_ns", util::Json(summary.critical_path_ns));
+
+  util::Json::Array critical;
+  for (const util::CriticalPathEntry& entry : summary.critical_path) {
+    util::Json::Object e;
+    e.emplace("name", util::Json(entry.name));
+    e.emplace("count", util::Json(entry.count));
+    e.emplace("self_ns", util::Json(entry.self_ns));
+    critical.emplace_back(std::move(e));
+  }
+  doc.emplace("critical_path", util::Json(std::move(critical)));
+
+  util::Json::Array by_name;
+  const std::size_t top = std::min<std::size_t>(summary.by_name.size(), 20);
+  for (std::size_t i = 0; i < top; ++i) {
+    const util::SpanNameStats& s = summary.by_name[i];
+    util::Json::Object e;
+    e.emplace("name", util::Json(s.name));
+    e.emplace("count", util::Json(s.count));
+    e.emplace("total_ns", util::Json(s.total_ns));
+    e.emplace("self_ns", util::Json(s.self_ns));
+    e.emplace("p50_ns", util::Json(s.p50_ns));
+    e.emplace("p99_ns", util::Json(s.p99_ns));
+    by_name.emplace_back(std::move(e));
+  }
+  doc.emplace("self_time", util::Json(std::move(by_name)));
+
+  // The most recent completed spans (events are sorted by start_ns).
+  util::Json::Array recent;
+  const std::size_t n = std::min(options_.tracez_spans, events.size());
+  for (std::size_t i = events.size() - n; i < events.size(); ++i) {
+    const util::TraceEvent& event = events[i];
+    util::Json::Object e;
+    e.emplace("name", util::Json(event.name));
+    e.emplace("span_id", util::Json(event.span_id));
+    e.emplace("parent_id", util::Json(event.parent_id));
+    e.emplace("thread", util::Json(static_cast<std::uint64_t>(event.thread)));
+    e.emplace("start_ns", util::Json(event.start_ns));
+    e.emplace("duration_ns", util::Json(event.duration_ns));
+    recent.emplace_back(std::move(e));
+  }
+  doc.emplace("recent", util::Json(std::move(recent)));
+  return util::Json(std::move(doc)).dump(2) + "\n";
+}
+
+int resolve_admin_port(int flag_value) {
+  if (flag_value >= 0) return flag_value;
+  if (const char* env = std::getenv("APPSCOPE_ADMIN_PORT")) {
+    if (*env != '\0') {
+      char* end = nullptr;
+      const long port = std::strtol(env, &end, 10);
+      if (end != nullptr && *end == '\0' && port >= 0 && port <= 65535) {
+        return static_cast<int>(port);
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace appscope::obs

@@ -1,0 +1,80 @@
+// appscope/obs/telemetry.hpp
+//
+// TelemetryPlane: the one-call wiring of the live telemetry subsystem for
+// a serving binary (appscope_serve, appscope_query --follow). Owns a
+// MetricsSampler, a HealthWatchdog evaluated after every tick, and an
+// AdminServer exposing:
+//
+//   /metrics  Prometheus text exposition 0.0.4 of the full registry;
+//   /healthz  200 "ok" while the watchdog is happy, 503 + reason when a
+//             stall heuristic fires (liveness is implicit: answering);
+//   /statusz  byte-stable JSON (util::Json sorts keys): uptime, samples,
+//             epoch number, queue depth, shed rate, and the retained
+//             ring-buffer rate series;
+//   /tracez   the most recent completed spans from the global
+//             TraceRecorder plus the per-name self-time / critical-path
+//             attribution of util::trace_analysis.
+//
+// start() turns the metrics gate on (same contract as enable_trace_export:
+// asking for live telemetry is asking for instrumentation) and never
+// touches any analysis path — the determinism tests seal bitwise-identical
+// snapshots with the plane attached.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/admin.hpp"
+#include "obs/sampler.hpp"
+#include "obs/watchdog.hpp"
+
+namespace appscope::obs {
+
+struct TelemetryOptions {
+  AdminOptions admin;
+  SamplerOptions sampler;
+  WatchdogOptions watchdog;
+  /// Spans /tracez returns in its "recent" list.
+  std::size_t tracez_spans = 32;
+};
+
+class TelemetryPlane {
+ public:
+  explicit TelemetryPlane(TelemetryOptions options = {});
+  ~TelemetryPlane();
+  TelemetryPlane(const TelemetryPlane&) = delete;
+  TelemetryPlane& operator=(const TelemetryPlane&) = delete;
+
+  /// Enables the metrics gate, starts the sampler (+watchdog hook) and the
+  /// admin server. Throws util::InputError when the port cannot be bound.
+  void start();
+  /// Stops the admin server first (no scrapes against a dying sampler),
+  /// then the sampler. Idempotent; destructor calls it.
+  void stop();
+
+  std::uint16_t port() const noexcept { return admin_.port(); }
+  MetricsSampler& sampler() noexcept { return sampler_; }
+  HealthWatchdog& watchdog() noexcept { return watchdog_; }
+  AdminServer& admin() noexcept { return admin_; }
+
+  /// Renders the /statusz document (exposed for tests: the endpoint body
+  /// must be byte-stable for a frozen sampler state).
+  std::string render_statusz() const;
+  /// Renders the /tracez document.
+  std::string render_tracez() const;
+
+ private:
+  TelemetryOptions options_;
+  MetricsSampler sampler_;
+  HealthWatchdog watchdog_;
+  AdminServer admin_;
+  bool started_ = false;
+};
+
+/// Resolves the admin port for a binary: `flag_value` (from --admin-port=)
+/// when >= 0, else the APPSCOPE_ADMIN_PORT environment variable, else -1
+/// (disabled). 0 means "bind an ephemeral port".
+int resolve_admin_port(int flag_value);
+
+}  // namespace appscope::obs

@@ -1,0 +1,171 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace appscope::obs {
+
+namespace {
+
+/// Metric names the heuristics key on (published by serve::IngestDaemon).
+constexpr const char* kQueueDepthGauge = "serve.queue.depth.max";
+constexpr const char* kSealCounter = "serve.epochs.sealed";
+constexpr const char* kSealWallHistogram = "serve.epoch.seal_wall_seconds";
+constexpr const char* kShardPrefix = "serve.shard.";
+constexpr const char* kShardSuffix = ".events";
+
+const SeriesSnapshot* find_series(const std::vector<SeriesSnapshot>& series,
+                                  const char* name) {
+  for (const SeriesSnapshot& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+bool is_shard_events_series(const std::string& name) {
+  return name.size() > std::strlen(kShardPrefix) + std::strlen(kShardSuffix) &&
+         name.compare(0, std::strlen(kShardPrefix), kShardPrefix) == 0 &&
+         name.compare(name.size() - std::strlen(kShardSuffix),
+                      std::strlen(kShardSuffix), kShardSuffix) == 0;
+}
+
+void append_reason(std::string& reason, const std::string& part) {
+  if (!reason.empty()) reason += "; ";
+  reason += part;
+}
+
+}  // namespace
+
+HealthWatchdog::HealthWatchdog(const MetricsSampler& sampler,
+                               WatchdogOptions options)
+    : sampler_(sampler), options_(options) {}
+
+HealthStatus HealthWatchdog::evaluate(
+    const std::vector<SeriesSnapshot>& series, double uptime_seconds,
+    double tick_seconds) const {
+  HealthStatus status;
+  if (uptime_seconds < options_.startup_grace_seconds) return status;
+
+  bool backlog = false, epoch_stall = false, starved = false, slo = false;
+
+  // Ingest backlog: queue depth strictly rising across the window.
+  if (options_.queue_rise_window >= 2) {
+    if (const SeriesSnapshot* q = find_series(series, kQueueDepthGauge)) {
+      const std::size_t window =
+          std::min(options_.queue_rise_window, q->ring.size());
+      if (window >= options_.queue_rise_window &&
+          q->ring.newest() >= options_.queue_depth_floor) {
+        bool rising = true;
+        for (std::size_t i = 0; i + 1 < window; ++i) {
+          if (!(q->ring.back(i) > q->ring.back(i + 1))) {
+            rising = false;
+            break;
+          }
+        }
+        backlog = rising;
+      }
+    }
+  }
+  if (backlog) {
+    append_reason(status.reason,
+                  "ingest queue depth rising monotonically (backlog)");
+  }
+
+  // Epoch stall: the seal counter flat for > k x expected interval. The
+  // rate ring says how many of the newest ticks sealed nothing; a run that
+  // never sealed at all counts its whole uptime.
+  if (options_.expected_epoch_seconds > 0.0 && tick_seconds > 0.0) {
+    const double threshold =
+        options_.epoch_stall_factor * options_.expected_epoch_seconds;
+    if (const SeriesSnapshot* c = find_series(series, kSealCounter)) {
+      std::size_t flat_ticks = 0;
+      while (flat_ticks < c->ring.size() && c->ring.back(flat_ticks) == 0.0) {
+        ++flat_ticks;
+      }
+      double flat_seconds = static_cast<double>(flat_ticks) * tick_seconds;
+      if (c->total == 0) flat_seconds = uptime_seconds;
+      epoch_stall = flat_seconds > threshold;
+    } else {
+      epoch_stall = uptime_seconds > threshold;
+    }
+  }
+  if (epoch_stall) {
+    append_reason(status.reason, "no epoch sealed within the expected interval");
+  }
+
+  // Shard starvation: one shard's event gauge flat across the window while
+  // another advanced over the same ticks.
+  if (options_.flatline_window >= 2) {
+    bool any_advanced = false, any_flat = false;
+    for (const SeriesSnapshot& s : series) {
+      if (!is_shard_events_series(s.name)) continue;
+      if (s.ring.size() < options_.flatline_window) continue;
+      const double newest = s.ring.newest();
+      const double oldest = s.ring.back(options_.flatline_window - 1);
+      if (newest > oldest) {
+        any_advanced = true;
+      } else if (newest > 0.0) {
+        // A shard that never processed anything is an empty route map, not
+        // a wedged worker; only a started-then-stopped shard counts.
+        any_flat = true;
+      }
+    }
+    starved = any_advanced && any_flat;
+  }
+  if (starved) {
+    append_reason(status.reason,
+                  "shard busy-time flatlined while others progress");
+  }
+
+  // Seal-latency SLO: interval p99 over the configured bound.
+  if (options_.seal_p99_slo_seconds > 0.0) {
+    if (const SeriesSnapshot* h = find_series(series, kSealWallHistogram)) {
+      if (!h->p99.empty() && h->p99.newest() > options_.seal_p99_slo_seconds) {
+        slo = true;
+      }
+    }
+  }
+  if (slo) {
+    append_reason(status.reason, "seal-latency p99 breaches the SLO");
+  }
+
+  status.healthy = !(backlog || epoch_stall || starved || slo);
+
+  // Publish the verdict as scrapeable gauges.
+  if (util::MetricsRegistry::enabled()) {
+    auto& registry = util::MetricsRegistry::global();
+    registry.gauge("obs.health.healthy", status.healthy ? 1.0 : 0.0);
+    registry.gauge("obs.health.queue_backlog", backlog ? 1.0 : 0.0);
+    registry.gauge("obs.health.epoch_stall", epoch_stall ? 1.0 : 0.0);
+    registry.gauge("obs.health.shard_starved", starved ? 1.0 : 0.0);
+    registry.gauge("obs.health.seal_slo_breach", slo ? 1.0 : 0.0);
+  }
+  return status;
+}
+
+HealthStatus HealthWatchdog::evaluate() {
+  const HealthStatus status = evaluate(
+      sampler_.series(), sampler_.uptime_seconds(),
+      std::chrono::duration<double>(sampler_.interval()).count());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (last_.healthy && !status.healthy) {
+    ++stalls_;
+    if (util::MetricsRegistry::enabled()) {
+      util::MetricsRegistry::global().add("obs.health.stalls");
+    }
+  }
+  last_ = status;
+  return status;
+}
+
+HealthStatus HealthWatchdog::last() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_;
+}
+
+std::uint64_t HealthWatchdog::stalls() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stalls_;
+}
+
+}  // namespace appscope::obs

@@ -1,0 +1,102 @@
+// appscope/obs/watchdog.hpp
+//
+// HealthWatchdog: turns the sampler's retained series into a liveness /
+// readiness verdict for /healthz. It never touches the serving tier
+// directly — every heuristic reads the metric series the daemon already
+// publishes (DESIGN.md §4k), so the watchdog works identically against a
+// live run and against a fabricated series in tests.
+//
+// Stall heuristics (each individually optional via WatchdogOptions):
+//
+//   * ingest backlog   — the serve.queue.depth.max gauge rising strictly
+//                        monotonically across the last `queue_rise_window`
+//                        ticks (and above queue_depth_floor): the consumers
+//                        are not keeping up;
+//   * epoch stall      — the serve.epochs.sealed counter flat for longer
+//                        than epoch_stall_factor x expected_epoch_seconds:
+//                        the seal path is stuck;
+//   * shard starvation — one serve.shard.<i>.events gauge flat across
+//                        `flatline_window` ticks while another shard's
+//                        advanced: a worker is wedged while traffic flows;
+//   * seal SLO         — interval p99 of serve.epoch.seal_wall_seconds
+//                        above seal_p99_slo_seconds.
+//
+// Every evaluation publishes obs.health.* gauges (healthy flag plus one
+// 0/1 gauge per heuristic) and counts flips under obs.health.stalls, so
+// the health signal itself is scrapeable history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/sampler.hpp"
+
+namespace appscope::obs {
+
+struct WatchdogOptions {
+  /// Expected wall-clock seconds between epoch seals; <= 0 disables the
+  /// epoch-stall check.
+  double expected_epoch_seconds = 0.0;
+  /// Stall declared after expected_epoch_seconds * this factor without a
+  /// seal (the "k" of the design note).
+  double epoch_stall_factor = 3.0;
+  /// p99 SLO on serve.epoch.seal_wall_seconds; <= 0 disables.
+  double seal_p99_slo_seconds = 0.0;
+  /// Consecutive strictly-rising queue-depth ticks that count as a backlog
+  /// stall; 0 disables.
+  std::size_t queue_rise_window = 8;
+  /// Queue depths below this never count as a backlog (an almost-empty
+  /// queue "rising" 0 -> 1 -> 2 is noise, not a stall).
+  double queue_depth_floor = 64.0;
+  /// Ticks one shard must flatline (while another advances) to count as
+  /// starved; 0 disables.
+  std::size_t flatline_window = 8;
+  /// Seconds after sampler start during which nothing is flagged (the
+  /// daemon is still staging its replay / opening shards).
+  double startup_grace_seconds = 3.0;
+};
+
+struct HealthStatus {
+  /// Liveness: the telemetry plane itself is up. Always true once the
+  /// watchdog runs (the process answering /healthz is alive by definition).
+  bool live = true;
+  /// Readiness: no stall heuristic is currently firing.
+  bool healthy = true;
+  /// Empty when healthy; otherwise every firing heuristic, ';'-joined.
+  std::string reason;
+};
+
+class HealthWatchdog {
+ public:
+  /// The sampler must outlive the watchdog.
+  HealthWatchdog(const MetricsSampler& sampler, WatchdogOptions options);
+
+  /// Evaluates the sampler's current series. Thread-safe; the
+  /// TelemetryPlane calls it from the sampler's on-sample hook.
+  HealthStatus evaluate();
+
+  /// Stateless evaluation over an explicit series set (deterministic
+  /// tests). `uptime_seconds` gates the startup grace; `tick_seconds` is
+  /// the sampling interval the tick windows are scaled by. The epoch-stall
+  /// check is derived from the seal counter's retained rate ring (how many
+  /// consecutive newest ticks saw zero seals), so no cross-call state is
+  /// needed.
+  HealthStatus evaluate(const std::vector<SeriesSnapshot>& series,
+                        double uptime_seconds, double tick_seconds) const;
+
+  /// The most recent evaluate() verdict (healthy before the first one).
+  HealthStatus last() const;
+
+  std::uint64_t stalls() const;
+
+ private:
+  const MetricsSampler& sampler_;
+  const WatchdogOptions options_;
+
+  mutable std::mutex mutex_;
+  HealthStatus last_;
+  std::uint64_t stalls_ = 0;
+};
+
+}  // namespace appscope::obs

@@ -13,13 +13,18 @@
 // --slicing prints the same network-slicing economics lines paper_report
 // emits (the CI soak job cross-checks them textually); --check recomputes
 // the answer on the eager full-load path and fails loudly on divergence.
+// Under --follow, --admin-port=N (or APPSCOPE_ADMIN_PORT) attaches the
+// same live telemetry plane as appscope_serve, so a long poll loop is
+// scrapeable too.
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "core/dataset.hpp"
 #include "core/slicing.hpp"
 #include "io/snapshot.hpp"
+#include "obs/telemetry.hpp"
 #include "query/engine.hpp"
 #include "query/follower.hpp"
 #include "util/cli.hpp"
@@ -216,6 +221,9 @@ void print_result(std::ostream& out, const query::Slice& slice,
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   util::write_metrics_at_exit();
+  // A follow loop is commonly killed with Ctrl-C / SIGTERM mid-poll; the
+  // handler flushes the metrics JSON so the run still leaves one behind.
+  util::install_metrics_signal_flush();
   util::enable_trace_export(args.get_string("trace", ""));
 
   try {
@@ -238,6 +246,23 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("repeat", 1));
     const auto interval =
         std::chrono::milliseconds(args.get_int("interval-ms", 200));
+
+    std::unique_ptr<obs::TelemetryPlane> telemetry;
+    if (follow) {
+      const int admin_port = obs::resolve_admin_port(
+          static_cast<int>(args.get_int("admin-port", -1)));
+      if (admin_port >= 0) {
+        obs::TelemetryOptions topts;
+        topts.admin.port = static_cast<std::uint16_t>(admin_port);
+        topts.sampler.interval =
+            std::chrono::milliseconds(args.get_int("admin-sample-ms", 1000));
+        telemetry = std::make_unique<obs::TelemetryPlane>(topts);
+        telemetry->start();
+        std::cerr << "appscope_query: admin endpoint on http://127.0.0.1:"
+                  << telemetry->port()
+                  << " (/metrics /healthz /statusz /tracez)\n";
+      }
+    }
 
     query::Engine engine(
         {.cache_capacity =

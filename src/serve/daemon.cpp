@@ -112,6 +112,24 @@ ServeStats IngestDaemon::run() {
   std::uint64_t hours_replayed = 0;
   bool stopping = false;
 
+  // Per-shard gauge names, built once so the flush path never allocates.
+  std::vector<std::string> shard_event_gauges;
+  if (metrics_on) {
+    shard_event_gauges.reserve(ingest.shard_count());
+    for (std::size_t s = 0; s < ingest.shard_count(); ++s) {
+      shard_event_gauges.push_back("serve.shard." + std::to_string(s) +
+                                   ".events");
+    }
+  }
+
+  // Enqueue-to-seal latency: one steady-clock mark per routed batch (a
+  // per-event stamp would dominate the hot path), observed when the epoch
+  // that drained those events seals. Bounded: marks beyond the cap are
+  // dropped, which under-samples long epochs but never grows.
+  constexpr std::size_t kMaxEnqueueMarks = 4096;
+  std::vector<std::chrono::steady_clock::time_point> enqueue_marks;
+  if (metrics_on) enqueue_marks.reserve(kMaxEnqueueMarks);
+
   const auto should_stop = [&]() {
     if (config.stop_flag != nullptr &&
         config.stop_flag->load(std::memory_order_relaxed)) {
@@ -127,15 +145,24 @@ ServeStats IngestDaemon::run() {
     registry.add("net.sampled", sampler.sampled() - sampled_reported);
     ingested_reported = stats.ingested;
     sampled_reported = sampler.sampled();
+    std::size_t max_depth = 0;
     for (std::size_t s = 0; s < ingest.shard_count(); ++s) {
-      registry.observe("serve.queue.depth",
-                       static_cast<double>(ingest.queue_depth(s)));
+      const std::size_t depth = ingest.queue_depth(s);
+      max_depth = std::max(max_depth, depth);
+      registry.observe("serve.queue.depth", static_cast<double>(depth));
+      registry.gauge(shard_event_gauges[s],
+                     static_cast<double>(ingest.shard_events(s)));
+    }
+    registry.gauge("serve.queue.depth.max", static_cast<double>(max_depth));
+    if (enqueue_marks.size() < kMaxEnqueueMarks) {
+      enqueue_marks.push_back(std::chrono::steady_clock::now());
     }
   };
 
   // Trackers re-read the whole rolling state each epoch; until a full week
   // has been replayed only a prefix of each weekly series has data.
   const auto seal_epoch = [&](std::uint64_t index) {
+    const auto seal_start = std::chrono::steady_clock::now();
     ingest.collect_epoch(rolling);
     const std::size_t covered_hours = static_cast<std::size_t>(
         std::min<std::uint64_t>(hours_replayed, ts::kHoursPerWeek));
@@ -152,6 +179,18 @@ ServeStats IngestDaemon::run() {
     ++stats.epochs_sealed;
     events_since_seal = 0;
     if (metrics_on) {
+      const auto seal_end = std::chrono::steady_clock::now();
+      registry.observe(
+          "serve.epoch.seal_wall_seconds",
+          std::chrono::duration<double>(seal_end - seal_start).count());
+      // Every routed batch of this epoch has now been merged and sealed:
+      // its enqueue mark resolves to one enqueue-to-seal latency sample.
+      for (const auto& mark : enqueue_marks) {
+        registry.observe("serve.ingest.enqueue_to_seal",
+                         std::chrono::duration<double>(seal_end - mark).count());
+      }
+      enqueue_marks.clear();
+      registry.gauge("serve.epoch.last_index", static_cast<double>(index));
       registry.gauge("serve.zipf.exponent", stats.zipf_exponent);
       registry.gauge("serve.peaks.rising_fronts",
                      static_cast<double>(stats.rising_fronts));

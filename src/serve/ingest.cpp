@@ -1,5 +1,7 @@
 #include "serve/ingest.hpp"
 
+#include <chrono>
+
 #include "util/error.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -52,6 +54,10 @@ void ShardedIngest::worker_loop(std::size_t shard_index) {
   Msg msg;
   std::size_t idle = 0;
   for (;;) {
+    if (shard.paused.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
     if (!shard.queue.try_pop(msg)) {
       backoff(idle++);
       continue;
@@ -59,6 +65,7 @@ void ShardedIngest::worker_loop(std::size_t shard_index) {
     idle = 0;
     if (msg.scale != 0) {
       delta.apply(msg.event, msg.scale);
+      shard.processed.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     if (msg.event.flags == kBarrier) {
@@ -135,9 +142,23 @@ std::size_t ShardedIngest::queue_depth(std::size_t shard) const {
   return shards_[shard]->queue.size();
 }
 
+std::uint64_t ShardedIngest::shard_events(std::size_t shard) const {
+  APPSCOPE_REQUIRE(shard < shards_.size(), "ShardedIngest: bad shard index");
+  return shards_[shard]->processed.load(std::memory_order_relaxed);
+}
+
+void ShardedIngest::set_shard_paused(std::size_t shard, bool paused) {
+  APPSCOPE_REQUIRE(shard < shards_.size(), "ShardedIngest: bad shard index");
+  shards_[shard]->paused.store(paused, std::memory_order_release);
+}
+
 void ShardedIngest::stop() {
   if (stopped_) return;
   stopped_ = true;
+  // Unfreeze any test-paused shard so the stop message is consumed.
+  for (auto& shard : shards_) {
+    shard->paused.store(false, std::memory_order_release);
+  }
   push_control(kStop);
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();

@@ -69,6 +69,19 @@ class ShardedIngest {
   /// Approximate occupancy of one shard queue (metrics).
   std::size_t queue_depth(std::size_t shard) const;
 
+  /// Events one shard worker has folded into its delta since construction
+  /// (monotonic; the telemetry plane publishes it as the
+  /// serve.shard.<i>.events gauge the watchdog's starvation heuristic
+  /// watches).
+  std::uint64_t shard_events(std::size_t shard) const;
+
+  /// Test hook: while paused, shard `shard`'s worker stops popping its
+  /// queue (events back up) without exiting. Injects exactly the wedged-
+  /// worker stall the HealthWatchdog flags. Never pause across a
+  /// collect_epoch() call — the barrier would wait on the paused shard.
+  /// stop() clears all pauses so shutdown always completes.
+  void set_shard_paused(std::size_t shard, bool paused);
+
   /// Total full-queue retries the router has burned (backpressure measure;
   /// router-thread accounting, read after the run).
   std::uint64_t backpressure_spins() const noexcept { return spins_; }
@@ -95,6 +108,11 @@ class ShardedIngest {
     EventAggregates handoff;  // filled at a barrier, guarded by handoff_mutex_
     bool handoff_ready = false;
     std::thread worker;
+    /// Events applied by the worker (relaxed; read by the telemetry plane).
+    std::atomic<std::uint64_t> processed{0};
+    /// Test hook: worker spins without popping while set (see
+    /// set_shard_paused).
+    std::atomic<bool> paused{false};
   };
 
   void worker_loop(std::size_t shard_index);

@@ -7,14 +7,27 @@
 //       ./appscope_serve --scale=example --rate=2000000 --duration=30
 //       ./appscope_serve --shards=8 --epoch-seconds=21600 --weeks=2
 //       APPSCOPE_METRICS=1 ./appscope_serve ...             (metrics JSON)
+//       ./appscope_serve --admin-port=9100 ...              (live telemetry)
+//
+// --admin-port=N (or APPSCOPE_ADMIN_PORT=N) attaches the live telemetry
+// plane: /metrics, /healthz, /statusz and /tracez on 127.0.0.1:N (0 binds
+// an ephemeral port, printed at startup). --admin-sample-ms tunes the
+// sampler cadence; --epoch-stall-seconds and --seal-slo arm the watchdog's
+// epoch-stall and seal-latency heuristics.
 //
 // SIGTERM / SIGINT drain the queues, seal the final partial epoch and exit
-// cleanly, so `latest.snapshot` is always a complete, loadable file.
+// cleanly, so `latest.snapshot` is always a complete, loadable file. A
+// second signal skips the drain: the metrics JSON is flushed best-effort
+// and the process exits immediately.
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 
+#include "obs/telemetry.hpp"
 #include "serve/daemon.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -27,8 +40,14 @@ namespace {
 
 std::atomic<bool> g_stop{false};
 
-extern "C" void handle_stop_signal(int) {
-  g_stop.store(true, std::memory_order_relaxed);
+extern "C" void handle_stop_signal(int sig) {
+  if (g_stop.exchange(true, std::memory_order_relaxed)) {
+    // Second signal: the drain is stuck or too slow for the operator.
+    // Salvage the metrics JSON (best-effort, skipped when disabled) and
+    // exit without running atexit handlers against a wedged pipeline.
+    util::flush_metrics_best_effort();
+    std::_Exit(128 + sig);
+  }
 }
 
 }  // namespace
@@ -69,6 +88,26 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_stop_signal);
 
   try {
+    // Live telemetry plane: only when asked for via flag or environment.
+    std::unique_ptr<obs::TelemetryPlane> telemetry;
+    const int admin_port =
+        obs::resolve_admin_port(static_cast<int>(args.get_int("admin-port", -1)));
+    if (admin_port >= 0) {
+      obs::TelemetryOptions topts;
+      topts.admin.port = static_cast<std::uint16_t>(admin_port);
+      topts.admin.bind_address = args.get_string("admin-bind", "127.0.0.1");
+      topts.sampler.interval =
+          std::chrono::milliseconds(args.get_int("admin-sample-ms", 1000));
+      topts.watchdog.expected_epoch_seconds =
+          args.get_double("epoch-stall-seconds", 0.0);
+      topts.watchdog.seal_p99_slo_seconds = args.get_double("seal-slo", 0.0);
+      telemetry = std::make_unique<obs::TelemetryPlane>(topts);
+      telemetry->start();
+      std::cerr << "appscope_serve: admin endpoint on http://"
+                << topts.admin.bind_address << ":" << telemetry->port()
+                << " (/metrics /healthz /statusz /tracez)\n";
+    }
+
     serve::IngestDaemon daemon(config);
     std::cerr << "appscope_serve: " << daemon.week_event_count()
               << " events/week staged, " << config.shard_count

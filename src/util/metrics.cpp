@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -169,6 +170,14 @@ void MetricsRegistry::gauge(std::string_view name, double value) {
 }
 
 void MetricsRegistry::observe(std::string_view histogram, double value) {
+  // Harden against caller bugs: NaN or negative observations would poison
+  // the running sum (NaN is sticky through atomic_add) and min/max. Clamp
+  // them into the underflow bucket and count the incident — a watchdog can
+  // alert on metrics.invalid_observations without the series going bad.
+  if (!(value >= 0.0) || !std::isfinite(value)) {
+    add("metrics.invalid_observations");
+    value = 0.0;
+  }
   Cell& c = cell(histogram, kHistogramCell);
   c.count.fetch_add(1, std::memory_order_relaxed);
   atomic_add(c.value, value);
@@ -180,6 +189,17 @@ void MetricsRegistry::observe(std::string_view histogram, double value) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
+  snapshot_into(out);
+  return out;
+}
+
+void MetricsRegistry::snapshot_into(MetricsSnapshot& out) const {
+  // Zero the existing entries instead of clearing the maps: in the steady
+  // state (same metric name set every tick) the merge below lands on the
+  // nodes already allocated, so a periodic sampler ticks allocation-free.
+  for (auto& [name, value] : out.counters) value = 0;
+  for (auto& [name, value] : out.gauges) value = 0.0;
+  for (auto& [name, h] : out.histograms) h = HistogramSnapshot{};
   std::map<std::string, std::uint64_t> gauge_stamps;
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& shard : shards_) {
@@ -217,7 +237,6 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       }
     }
   }
-  return out;
 }
 
 void MetricsRegistry::reset() {
@@ -426,6 +445,97 @@ std::string metrics_output_path() {
     if (*env != '\0') return env;
   }
   return "metrics.json";
+}
+
+bool flush_metrics_best_effort() noexcept {
+  if (!MetricsRegistry::enabled()) return false;
+  try {
+    write_metrics_json(metrics_output_path());
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+namespace {
+
+extern "C" void metrics_flush_signal_handler(int sig) {
+  // Best effort by design: write_metrics_json allocates, which is not
+  // async-signal-safe — but this handler only runs on the way to _exit, so
+  // the worst case (a deadlock would require the signal to land inside the
+  // allocator or the registry mutex) is no metrics file, the same outcome
+  // as not trying. The upside — SIGTERM'd runs keeping their telemetry —
+  // is worth the attempt.
+  flush_metrics_best_effort();
+  std::_Exit(128 + sig);
+}
+
+}  // namespace
+
+void install_metrics_signal_flush() {
+  static const bool installed = [] {
+    std::signal(SIGTERM, metrics_flush_signal_handler);
+    std::signal(SIGINT, metrics_flush_signal_handler);
+    return true;
+  }();
+  (void)installed;
+}
+
+// ---------------------------------------------------------------------------
+// Interval diffing
+
+double histogram_bucket_upper_bound(std::size_t index) noexcept {
+  return std::ldexp(1.0, static_cast<int>(index) + 1 + kHistogramMinExp);
+}
+
+double histogram_quantile(const HistogramSnapshot& h, double q) noexcept {
+  if (h.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank over the cumulative bucket counts; the answer is the
+  // containing bucket's upper bound (clamped to the recorded max for the
+  // last, unbounded bucket).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(h.count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    cumulative += h.buckets[b];
+    if (cumulative >= rank && cumulative > 0) {
+      if (b + 1 == kHistogramBuckets) return h.max;
+      return std::min(histogram_bucket_upper_bound(b), h.max);
+    }
+  }
+  return h.max;
+}
+
+MetricsSnapshot metrics_delta(const MetricsSnapshot& prev,
+                              const MetricsSnapshot& cur) {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : cur.counters) {
+    const auto it = prev.counters.find(name);
+    const std::uint64_t before = it == prev.counters.end() ? 0 : it->second;
+    out.counters[name] = value >= before ? value - before : value;
+  }
+  out.gauges = cur.gauges;
+  for (const auto& [name, h] : cur.histograms) {
+    const auto it = prev.histograms.find(name);
+    if (it == prev.histograms.end()) {
+      out.histograms[name] = h;
+      continue;
+    }
+    const HistogramSnapshot& p = it->second;
+    HistogramSnapshot d;
+    d.count = h.count >= p.count ? h.count - p.count : h.count;
+    d.sum = h.sum - p.sum;
+    d.min = h.min;  // running extremes: interval-local extremes are not
+    d.max = h.max;  // recoverable from the cumulative form
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      d.buckets[b] =
+          h.buckets[b] >= p.buckets[b] ? h.buckets[b] - p.buckets[b] : h.buckets[b];
+    }
+    out.histograms[name] = d;
+  }
+  return out;
 }
 
 void write_metrics_at_exit() {

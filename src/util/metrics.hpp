@@ -86,11 +86,20 @@ class MetricsRegistry {
   /// per-thread shards each keep their own last value and the merge takes
   /// the one recorded most recently).
   void gauge(std::string_view name, double value);
-  /// Records one observation into a histogram.
+  /// Records one observation into a histogram. Values must be finite and
+  /// non-negative; NaN, -inf and negative values are clamped to 0.0 (the
+  /// underflow bucket) and counted under the `metrics.invalid_observations`
+  /// counter instead of poisoning the sum/min/max aggregates.
   void observe(std::string_view histogram, double value);
 
   /// Merges every shard (all threads, live or finished) into totals.
   MetricsSnapshot snapshot() const;
+  /// snapshot() into a caller-owned document, reusing its map nodes: entries
+  /// whose names are already present are overwritten in place, so a steady-
+  /// state caller (the obs::MetricsSampler tick) allocates nothing once the
+  /// metric name set has stabilized. Entries for names the registry no
+  /// longer holds are reset to zero, never erased.
+  void snapshot_into(MetricsSnapshot& out) const;
   /// Zeroes all recorded values; cells stay allocated so cached fast-path
   /// pointers on other threads remain valid.
   void reset();
@@ -178,5 +187,42 @@ std::string metrics_output_path();
 /// are enabled at process exit. Idempotent; used by the bench binaries so
 /// `APPSCOPE_METRICS=1 build/bench/...` always leaves a metrics.json behind.
 void write_metrics_at_exit();
+
+/// Best-effort, never-throwing flush of the global registry (plus spans) to
+/// metrics_output_path(). Returns false when metrics are disabled or the
+/// write failed. NOT strictly async-signal-safe (it allocates and takes the
+/// registry locks), but safe to call from a last-gasp signal handler on the
+/// way to _exit: worst case the write fails and the handler still exits.
+bool flush_metrics_best_effort() noexcept;
+
+/// Installs SIGTERM/SIGINT handlers that flush_metrics_best_effort() and
+/// _exit(128 + sig) — for binaries with no graceful drain path of their own
+/// (appscope_query --follow), so an interrupted run still leaves its
+/// metrics.json behind. Idempotent. Binaries that drain on SIGTERM
+/// (appscope_serve) keep their own handler and escalate to this flush on
+/// the second signal instead.
+void install_metrics_signal_flush();
+
+// ---------------------------------------------------------------------------
+// Interval diffing: the live telemetry plane (src/obs) samples the registry
+// periodically and works on per-interval deltas rather than process totals.
+
+/// Per-interval difference cur - prev. Counters subtract (clamped at zero if
+/// a reset intervened); gauges take cur's latest value; histogram count, sum
+/// and buckets subtract per slot while min/max are taken from cur (they are
+/// running extremes, not interval aggregates). Names present only in `cur`
+/// diff against zero; names present only in `prev` are dropped.
+MetricsSnapshot metrics_delta(const MetricsSnapshot& prev,
+                              const MetricsSnapshot& cur);
+
+/// Upper bound (exclusive) of power-of-two histogram bucket `index`, i.e.
+/// 2^(index + 1 + kHistogramMinExp). The last bucket is clamped and has no
+/// finite upper bound (render it as +Inf).
+double histogram_bucket_upper_bound(std::size_t index) noexcept;
+
+/// Nearest-rank quantile (q in [0, 1]) of one histogram, resolved to the
+/// containing bucket's upper bound; 0.0 for an empty histogram. Used by the
+/// sampler's p99 series and the watchdog's seal-latency SLO check.
+double histogram_quantile(const HistogramSnapshot& h, double q) noexcept;
 
 }  // namespace appscope::util

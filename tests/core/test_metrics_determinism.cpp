@@ -12,6 +12,7 @@
 
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "obs/sampler.hpp"
 #include "geo/territory.hpp"
 #include "la/fft.hpp"
 #include "stats/bootstrap.hpp"
@@ -215,6 +216,37 @@ TEST(MetricsDeterminism, StudyReportIsIdenticalWithTraceExportOn) {
   }
   EXPECT_TRUE(found_root) << "the study-wide span must be in the export";
   std::remove(trace_path.c_str());
+}
+
+TEST(MetricsDeterminism, ClusteringIsIdenticalWithSamplerAttached) {
+  // The live telemetry sampler is a pure observer too: a background
+  // MetricsSampler ticking at full speed during an instrumented clustering
+  // run must not perturb a single bit of the result.
+  const auto series = fixture_series(24);
+  ts::KShapeOptions opts;
+  opts.k = 4;
+
+  const bool was = util::MetricsRegistry::enabled();
+  util::MetricsRegistry::set_enabled(false);
+  const auto off = ts::kshape(series, opts);
+
+  util::MetricsRegistry::set_enabled(true);
+  util::MetricsRegistry::global().reset();
+  obs::MetricsSampler sampler({std::chrono::milliseconds(1)});
+  sampler.start();
+  const auto on = ts::kshape(series, opts);
+  sampler.stop();
+  util::MetricsRegistry::set_enabled(was);
+  util::MetricsRegistry::global().reset();
+  util::TraceRecorder::global().reset();
+
+  EXPECT_EQ(off.assignments, on.assignments);
+  EXPECT_EQ(off.iterations, on.iterations);
+  EXPECT_EQ(off.centroids, on.centroids);
+  EXPECT_EQ(off.inertia, on.inertia);
+  // The sampler did retain series about the run it watched.
+  std::vector<obs::SeriesSnapshot> retained = sampler.series();
+  EXPECT_FALSE(retained.empty());
 }
 
 TEST(MetricsDeterminism, BootstrapAndCorrelationAreIdentical) {

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -236,6 +237,75 @@ TEST(Metrics, WriteMetricsJsonProducesWellFormedFile) {
   // especially) when zero.
   EXPECT_EQ(doc.at("counters").at("trace.dropped_events").as_int(), 0);
   std::remove(path.c_str());
+}
+
+TEST(Metrics, ObserveClampsInvalidValues) {
+  const MetricsOn guard;
+  MetricsRegistry reg;
+  reg.observe("h", std::numeric_limits<double>::quiet_NaN());
+  reg.observe("h", -1.5);
+  reg.observe("h", std::numeric_limits<double>::infinity());
+  reg.observe("h", 2.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramSnapshot h = snap.histograms.at("h");
+  // Invalid observations are clamped to 0.0 (the underflow bucket) instead
+  // of poisoning sum/min/max, and each one is counted.
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 2.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.0);
+  EXPECT_DOUBLE_EQ(h.max, 2.0);
+  EXPECT_EQ(snap.counters.at("metrics.invalid_observations"), 3u);
+}
+
+TEST(Metrics, SnapshotIntoReusesDocument) {
+  const MetricsOn guard;
+  MetricsRegistry reg;
+  reg.add("a", 3);
+  MetricsSnapshot snap;
+  reg.snapshot_into(snap);
+  EXPECT_EQ(snap.counters.at("a"), 3u);
+  reg.add("a", 2);
+  reg.snapshot_into(snap);
+  // Re-filling must overwrite, not accumulate, the previous contents.
+  EXPECT_EQ(snap.counters.at("a"), 5u);
+  EXPECT_EQ(snap.counters.size(), 1u);
+}
+
+TEST(Metrics, FlushBestEffortWritesMetricsJson) {
+  const MetricsOn guard;
+  MetricsRegistry::global().add("flush.test", 3);
+  const std::string path = ::testing::TempDir() + "appscope_flush_test.json";
+  ::setenv("APPSCOPE_METRICS_PATH", path.c_str(), 1);
+  EXPECT_TRUE(flush_metrics_best_effort());
+  ::unsetenv("APPSCOPE_METRICS_PATH");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const Json doc = Json::parse(text.str());
+  EXPECT_EQ(doc.at("counters").at("flush.test").as_int(), 3);
+  std::remove(path.c_str());
+
+  // Disabled gate: nothing to flush, nothing written.
+  MetricsRegistry::set_enabled(false);
+  EXPECT_FALSE(flush_metrics_best_effort());
+  MetricsRegistry::set_enabled(true);
+}
+
+TEST(Metrics, HistogramQuantileResolvesBucketBound) {
+  const MetricsOn guard;
+  MetricsRegistry reg;
+  for (int i = 0; i < 99; ++i) reg.observe("h", 0.5);
+  reg.observe("h", 100.0);
+  const HistogramSnapshot h = reg.snapshot().histograms.at("h");
+  // p50 lands in 0.5's bucket: upper bound is a power of two >= 0.5.
+  const double p50 = histogram_quantile(h, 0.50);
+  EXPECT_GE(p50, 0.5);
+  EXPECT_LE(p50, 1.0);
+  // p999 resolves to the top sample via the tracked max.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.999), 100.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(HistogramSnapshot{}, 0.5), 0.0);
 }
 
 TEST(Trace, SpansNestAndRecordDepth) {
